@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark harness.
+
+Expensive artefacts (trained maps, full experiment runs) are built once
+per session and shared across benchmark files. Figure renderings are
+printed and also written to ``benchmarks/out/*.txt``.
+
+Set ``REPRO_BENCH_FAST=1`` to shrink the traces (quick smoke pass).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import paper_module_spec
+from repro.controllers import L1Controller
+from repro.sim.experiments import cluster_experiment, module_experiment
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+#: Full spans match the paper's figures; fast mode shrinks for smoke runs.
+FIG4_SAMPLES = 240 if FAST else 1600
+FIG6_SAMPLES = 120 if FAST else 600
+OVERHEAD_SAMPLES = 120 if FAST else 400
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    path = Path(__file__).parent / "out"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def report(out_dir):
+    """Callable writing a named report to stdout and benchmarks/out/."""
+
+    def _write(name: str, text: str) -> None:
+        print()
+        print(text)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def behavior_maps():
+    """Abstraction maps for the C1..C4 profiles (trained once)."""
+    return L1Controller(paper_module_spec()).maps
+
+
+@pytest.fixture(scope="session")
+def fig4_result(behavior_maps):
+    """The §4.3 module experiment at full span (Figs. 4 and 5)."""
+    return module_experiment(
+        m=4, l1_samples=FIG4_SAMPLES, seed=0, behavior_maps=behavior_maps
+    )
+
+
+@pytest.fixture(scope="session")
+def fig6_result():
+    """The §5.2 sixteen-computer cluster experiment (Figs. 6 and 7)."""
+    return cluster_experiment(p=4, samples=FIG6_SAMPLES, seed=0)
+
+
+@pytest.fixture(scope="session")
+def module_cost_map(behavior_maps):
+    """One trained L2 module-cost map (regression trees), shared."""
+    from repro.controllers import ModuleCostMap
+
+    return ModuleCostMap.train(paper_module_spec(), behavior_maps)

@@ -1,0 +1,107 @@
+"""ABL1 — ablations of the design choices DESIGN.md calls out.
+
+Four sweeps on the §4.3 module workload:
+
+* **switching penalty W** — the paper's anti-chattering weight (W = 8
+  versus 0 and 32): switching counts must fall as W rises;
+* **uncertainty-band sampling** — on versus off: the band provisions
+  robust capacity under forecast noise;
+* **L0 horizon N** — 1 versus the paper's 3: the deeper horizon plans
+  cheaper frequency trajectories (never worse);
+* **robustness margin** — our optional extension (0 / 10 / 25 %):
+  violations fall monotonically as margin buys headroom with energy.
+"""
+
+import os
+
+import numpy as np
+
+from repro.controllers import L0Params, L1Params
+from repro.sim.experiments import module_experiment
+
+SAMPLES = 120 if os.environ.get("REPRO_BENCH_FAST") else 480
+
+
+def _run(behavior_maps, seed=0, l0=None, l1=None):
+    return module_experiment(
+        m=4, l1_samples=SAMPLES, seed=seed,
+        behavior_maps=behavior_maps, l0_params=l0, l1_params=l1,
+    ).summary()
+
+
+def test_ablations(benchmark, report, behavior_maps):
+    rows = []
+
+    paper = _run(behavior_maps)
+    rows.append(("paper defaults", paper))
+    rows.append(
+        ("W = 0 (no switch cost)", _run(behavior_maps, l1=L1Params(switching_weight=0.0)))
+    )
+    rows.append(
+        ("W = 32", _run(behavior_maps, l1=L1Params(switching_weight=32.0)))
+    )
+    rows.append(
+        ("no uncertainty band", _run(behavior_maps, l1=L1Params(use_uncertainty_band=False)))
+    )
+    rows.append(("N_L0 = 1", _run(behavior_maps, l0=L0Params(horizon=1))))
+    rows.append(
+        ("margin 10%", _run(behavior_maps, l0=L0Params(robustness_margin=0.10)))
+    )
+    rows.append(
+        ("margin 25%", _run(behavior_maps, l0=L0Params(robustness_margin=0.25)))
+    )
+
+    lines = ["ABL1 — design-choice ablations (module of 4)", ""]
+    lines.append(
+        f"{'variant':>24} | {'mean r':>6} | {'viol %':>7} | {'energy':>8} | "
+        f"{'switches':>8}"
+    )
+    lines.append("-" * 66)
+    for name, s in rows:
+        lines.append(
+            f"{name:>24} | {s.mean_response:>6.2f} | "
+            f"{100 * s.violation_fraction:>7.2f} | {s.total_energy:>8.0f} | "
+            f"{s.switch_ons + s.switch_offs:>8d}"
+        )
+    by_name = dict(rows)
+    lines.append("")
+    lines.append("shape checks:")
+    lines.append(
+        f"  switching falls with W: "
+        f"{by_name['W = 0 (no switch cost)'].switch_ons} (W=0) >= "
+        f"{paper.switch_ons} (W=8) >= {by_name['W = 32'].switch_ons} (W=32)"
+    )
+    lines.append(
+        f"  margin trades energy for violations: "
+        f"{100 * paper.violation_fraction:.1f}% -> "
+        f"{100 * by_name['margin 10%'].violation_fraction:.1f}% -> "
+        f"{100 * by_name['margin 25%'].violation_fraction:.1f}%"
+    )
+    report("ablations", "\n".join(lines))
+
+    # W monotonicity on switch-ons.
+    assert by_name["W = 0 (no switch cost)"].switch_ons >= paper.switch_ons
+    assert paper.switch_ons >= by_name["W = 32"].switch_ons - 2
+    # The robustness margin reduces violations at an energy premium.
+    assert (
+        by_name["margin 25%"].violation_fraction < paper.violation_fraction
+    )
+    assert by_name["margin 25%"].total_energy >= paper.total_energy
+    # Every variant still meets the average QoS target.
+    for _, s in rows:
+        assert s.mean_response < 4.0
+
+    # Kernel: one paper-defaults L1 decision (the ablated component).
+    from repro.cluster import paper_module_spec
+    from repro.controllers import L1Controller
+
+    l1 = L1Controller(paper_module_spec(), behavior_maps)
+    queues = np.array([5.0, 0.0, 15.0, 10.0])
+    alpha = np.ones(4, dtype=bool)
+    decision = benchmark(
+        lambda: l1.decide(
+            queues, alpha, rate_hat=100.0, rate_next=105.0, delta=7.0,
+            work=0.0175,
+        )
+    )
+    assert decision.states_explored > 0

@@ -1,0 +1,33 @@
+"""FIG3 — the per-computer operating-frequency table (paper Fig. 3).
+
+The paper's Fig. 3 lists the discrete frequency sets of the four
+heterogeneous computers in the module. This bench prints our realisation
+of that table (C1..C4 plus the two cited commercial parts) and times the
+scaling-factor computation the L0 controller performs on it.
+"""
+
+from repro.cluster import PROCESSOR_PROFILES, paper_module_spec, processor_profile
+
+
+def test_fig3_frequency_table(benchmark, report):
+    spec = paper_module_spec()
+    lines = ["FIG 3 — operating frequencies available within each computer", ""]
+    lines.append(f"{'computer':>10} | {'settings':>8} | frequencies (GHz)")
+    lines.append("-" * 66)
+    for computer in spec.computers:
+        freqs = ", ".join(f"{f:.2f}" for f in computer.processor.frequencies_ghz)
+        lines.append(
+            f"{computer.name:>10} | {computer.processor.setting_count:>8} | {freqs}"
+        )
+    lines.append("")
+    lines.append("cited commercial parts (paper §4.1):")
+    for name in ("amd_k6_2plus", "pentium_m"):
+        profile = PROCESSOR_PROFILES[name]
+        lines.append(
+            f"{name:>14}: {profile.setting_count} settings, "
+            f"{profile.min_frequency:.2f}-{profile.max_frequency:.2f} GHz"
+        )
+    report("fig3_frequency_table", "\n".join(lines))
+
+    factors = benchmark(lambda: processor_profile("c4").scaling_factors)
+    assert factors[-1] == 1.0

@@ -1,0 +1,107 @@
+"""OVH1 — §4.3 control overhead: states explored and execution time.
+
+The paper reports (MATLAB, 3.0 GHz Pentium 4):
+  * the L1 controller examines ~858 system states per sampling period;
+  * combined L0+L1 execution time over the run: 2.0 s (m=4, gamma step
+    0.05), 1.1 s (m=6, step 0.1), 2.0 s (m=10, step 0.1);
+  * overhead stays low as the module grows — the scalability claim.
+
+We re-measure on CPython/numpy. Absolute times differ from MATLAB 2006;
+the *shape* (near-flat growth in m, hundreds of states per period) is the
+reproduction target. One pytest-benchmark entry per module size times a
+single full module control period (one L1 decision + one L0 decision per
+computer).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster import scaled_module_spec
+from repro.controllers import L0Controller, L1Controller, L1Params
+from repro.sim.experiments import overhead_experiment
+
+OVERHEAD_SAMPLES = 120 if os.environ.get("REPRO_BENCH_FAST") else 400
+
+_REPORTS: dict[int, object] = {}
+
+
+@pytest.mark.parametrize("m", [4, 6, 10])
+def test_overhead_module_size(benchmark, report, m, behavior_maps):
+    measurement = overhead_experiment(m=m, l1_samples=OVERHEAD_SAMPLES, seed=0)
+    _REPORTS[m] = measurement
+
+    # Kernel: one module control period at size m, with the same search
+    # bounds module_experiment uses (coarser for larger m, per the paper).
+    spec = scaled_module_spec(m)
+    if m == 4:
+        params = L1Params(gamma_step=0.05)
+    else:
+        params = L1Params(
+            gamma_step=0.1, gamma_neighborhood_moves=1, max_gamma_candidates=8
+        )
+    maps = [behavior_maps[i % 4] for i in range(m)]
+    l1 = L1Controller(spec, maps, params)
+    l0s = [L0Controller(c) for c in spec.computers]
+    queues = np.linspace(0.0, 30.0, m)
+    alpha = np.ones(m, dtype=bool)
+    rate = 0.6 * spec.max_service_rate(0.0175)
+    rates = np.full(3, rate / m)
+
+    def control_period():
+        decision = l1.decide(
+            queues, alpha, rate_hat=rate, rate_next=rate, delta=rate * 0.05,
+            work=0.0175,
+        )
+        for j, l0 in enumerate(l0s):
+            l0.decide(queues[j], rates, 0.0175)
+        return decision
+
+    decision = benchmark(control_period)
+    assert decision.states_explored > 0
+
+    if len(_REPORTS) == 3:
+        lines = ["OVH1 — module controller overhead vs module size", ""]
+        lines.append(
+            f"{'m':>4} | {'L1 states/period':>16} | {'L1 total (s)':>12} | "
+            f"{'L0 total (s)':>12} | {'combined (s)':>12}"
+        )
+        lines.append("-" * 72)
+        for size in (4, 6, 10):
+            r = _REPORTS[size]
+            lines.append(
+                f"{size:>4} | {r.l1_mean_states:>16.0f} | "
+                f"{r.l1_total_seconds:>12.2f} | {r.l0_total_seconds:>12.2f} | "
+                f"{r.combined_seconds:>12.2f}"
+            )
+        lines.append("")
+        lines.append("paper-vs-measured:")
+        lines.append(
+            "  paper (MATLAB 2006): ~858 states/period at m=4; combined "
+            "times 2.0 / 1.1 / 2.0 s for m = 4 / 6 / 10 (flat in m)"
+        )
+        r4, r6, r10 = _REPORTS[4], _REPORTS[6], _REPORTS[10]
+        lines.append(
+            f"  measured (CPython): {r4.l1_mean_states:.0f} states/period at "
+            f"m=4; combined {r4.combined_seconds:.2f} / "
+            f"{r6.combined_seconds:.2f} / {r10.combined_seconds:.2f} s — "
+            f"growth m=4 -> m=10 is "
+            f"{r10.combined_seconds / max(r4.combined_seconds, 1e-9):.1f}x "
+            "(scalability: far below the 6.3x of a linear-in-(m x states) "
+            "centralized search)"
+        )
+        report("overhead_module", "\n".join(lines))
+
+        # The paper's qualitative claims: hundreds of states per period,
+        # and overhead that stays *low* as the module grows — the
+        # deployable criterion is controller time far below the T_L1
+        # sampling period (the paper's 2.0 s per run corresponds to ~5 ms
+        # per 120 s period; we hold every size below 1 % of T_L1).
+        assert 100 <= r4.l1_mean_states <= 3000
+        for r in (r4, r6, r10):
+            per_period = r.combined_seconds / OVERHEAD_SAMPLES
+            assert per_period < 0.01 * 120.0
+        # Growth must stay far below the naive blow-up of a centralized
+        # search (2^10/2^4 = 64x in on/off configurations alone).
+        assert r10.combined_seconds < 10.0 * r4.combined_seconds

@@ -1,0 +1,85 @@
+"""PRED1 — Kalman-filter workload prediction quality (Fig. 4 top).
+
+The paper tunes the filter on an initial portion of the workload and then
+forecasts the remainder online; Fig. 4 overlays actual and predicted
+arrivals. This bench scores one-step prediction on both workloads
+(synthetic and WC'98-shaped) and times the filter's observe+forecast
+cycle — the per-period cost every controller in the hierarchy pays.
+"""
+
+import numpy as np
+
+from repro.common.ascii_chart import series_table
+from repro.forecast import ForecastReport, WorkloadPredictor
+from repro.workload import synthetic_trace, wc98_trace
+
+
+def _score(counts: np.ndarray, warmup: int) -> tuple[ForecastReport, np.ndarray]:
+    predictor = WorkloadPredictor()
+    predictor.tune_on(counts[:warmup])
+    predictions = []
+    for value in counts[warmup:]:
+        predictions.append(predictor.forecast(1)[0])
+        predictor.observe(float(value))
+    predictions = np.asarray(predictions)
+    return ForecastReport.score(counts[warmup:], predictions), predictions
+
+
+def test_kalman_prediction_quality(benchmark, report):
+    synthetic = synthetic_trace(seed=0).rebinned(120.0)
+    wc98 = wc98_trace(seed=0)
+    warmup = 48
+
+    syn_report, syn_pred = _score(synthetic.counts, warmup)
+    wc_report, wc_pred = _score(wc98.counts, warmup)
+
+    lines = ["PRED1 — Kalman/ARIMA one-step workload prediction", ""]
+    lines.append(f"{'workload':>12} | {'MAE':>9} | {'RMSE':>9} | {'MAPE':>7}")
+    lines.append("-" * 48)
+    lines.append(
+        f"{'synthetic':>12} | {syn_report.mae:>9.0f} | {syn_report.rmse:>9.0f} | "
+        f"{100 * syn_report.mape:>6.1f}%"
+    )
+    lines.append(
+        f"{'wc98-shaped':>12} | {wc_report.mae:>9.0f} | {wc_report.rmse:>9.0f} | "
+        f"{100 * wc_report.mape:>6.1f}%"
+    )
+    lines.append("")
+    lines.append(
+        series_table(
+            {
+                "actual": synthetic.counts[warmup:],
+                "predicted": syn_pred,
+            },
+            index_name="period",
+            max_rows=12,
+        )
+    )
+    lines.append("")
+    lines.append("paper-vs-measured:")
+    lines.append(
+        "  paper: Fig. 4's predictions visually overlay the trace "
+        "(no numeric error reported)"
+    )
+    lines.append(
+        f"  measured: {100 * syn_report.mape:.1f}% / {100 * wc_report.mape:.1f}% "
+        "MAPE on synthetic / WC'98 — tight overlay at figure scale"
+    )
+    report("pred_kalman", "\n".join(lines))
+
+    assert syn_report.mape < 0.15
+    # The WC'98 generator carries ~12 % multiplicative minute-scale noise
+    # by construction; one-step MAPE cannot beat that floor.
+    assert wc_report.mape < 0.20
+
+    # Kernel: one observe + 2-step forecast cycle.
+    predictor = WorkloadPredictor()
+    predictor.tune_on(synthetic.counts[:warmup])
+    stream = iter(np.tile(synthetic.counts[warmup:], 50))
+
+    def cycle():
+        predictor.observe(float(next(stream)))
+        return predictor.forecast(2)
+
+    forecast = benchmark(cycle)
+    assert forecast.size == 2

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: run the paper's module-of-four for four simulated hours.
+
+Builds the heterogeneous module of §4.3 (computers C1..C4 with 5-7 DVFS
+settings each), drives it with the synthetic day-scale workload, and lets
+the L1 + L0 hierarchy manage machine counts and frequencies against the
+r* = 4 s response-time target.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import module_experiment
+from repro.common.ascii_chart import line_chart, sparkline
+
+
+def main() -> None:
+    # 120 L1 periods x 2 minutes = 4 simulated hours. The first call
+    # trains the L1 abstraction maps offline (a few seconds).
+    result = module_experiment(m=4, l1_samples=120, seed=0)
+
+    summary = result.summary()
+    print("=== module-of-four, 4 simulated hours ===")
+    print(summary)
+    print()
+    print("arrivals per 2-min period:")
+    print(" ", sparkline(result.l1_arrivals))
+    print("computers kept on by the L1 controller:")
+    print(" ", sparkline(result.computers_on))
+    print()
+    print(
+        line_chart(
+            np.nan_to_num(result.module_response, nan=0.0),
+            title=f"module mean response time (target r* = {result.target_response} s)",
+            height=10,
+            y_label="r (s)",
+        )
+    )
+    print()
+    print(
+        f"QoS: mean response {summary.mean_response:.2f} s "
+        f"against a {result.target_response:.0f} s target; "
+        f"{summary.mean_computers_on:.2f} of 4 machines on average."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — Hierarchical LLC for autonomic performance management.
+
+A reproduction of Kandasamy, Abdelwahed & Khandekar, *"A Hierarchical
+Optimization Framework for Autonomic Performance Management of Distributed
+Computing Systems"* (ICDCS 2006): a three-level limited-lookahead control
+hierarchy that operates a heterogeneous web-server cluster in
+energy-efficient fashion while meeting a response-time target.
+
+Quick start::
+
+    from repro import module_experiment
+
+    result = module_experiment(m=4, l1_samples=240)
+    print(result.summary())
+
+Package map:
+
+==================  =====================================================
+``repro.core``      the generic LLC framework (lookahead search, costs,
+                    constraints, uncertainty bands, quantised simplexes)
+``repro.controllers``  the L0/L1/L2 hierarchy and threshold baselines
+``repro.forecast``  Kalman/ARIMA workload prediction, EWMA filters
+``repro.queueing``  fluid difference model and exact FCFS server
+``repro.cluster``   the plant: DVFS processors, power states, modules
+``repro.workload``  synthetic and WC'98-shaped traces, Zipf store
+``repro.approximation``  lookup tables and CART regression trees
+``repro.sim``       multi-rate co-simulation engine and experiments
+==================  =====================================================
+"""
+
+from repro.cluster import (
+    ClusterSpec,
+    ComputerSpec,
+    ModuleSpec,
+    paper_cluster_spec,
+    paper_module_spec,
+    processor_profile,
+    scaled_module_spec,
+)
+from repro.controllers import (
+    AlwaysOnMaxController,
+    L0Controller,
+    L0Params,
+    L1Controller,
+    L1Params,
+    L2Controller,
+    L2Params,
+    ThresholdDvfsController,
+    ThresholdOnOffController,
+)
+from repro.sim import (
+    ClusterSimulation,
+    ModuleSimulation,
+    SimulationOptions,
+    cluster_experiment,
+    module_experiment,
+    overhead_experiment,
+)
+from repro.workload import synthetic_trace, wc98_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlwaysOnMaxController",
+    "ClusterSimulation",
+    "ClusterSpec",
+    "ComputerSpec",
+    "L0Controller",
+    "L0Params",
+    "L1Controller",
+    "L1Params",
+    "L2Controller",
+    "L2Params",
+    "ModuleSimulation",
+    "ModuleSpec",
+    "SimulationOptions",
+    "ThresholdDvfsController",
+    "ThresholdOnOffController",
+    "cluster_experiment",
+    "module_experiment",
+    "overhead_experiment",
+    "paper_cluster_spec",
+    "paper_module_spec",
+    "processor_profile",
+    "scaled_module_spec",
+    "synthetic_trace",
+    "wc98_trace",
+]

@@ -1,0 +1,30 @@
+"""Function approximation substrate.
+
+Higher-level controllers cannot afford detailed models of the components
+below them, so the paper approximates lower-level behaviour two ways:
+
+* the L1 controller's abstraction map ``g`` is "obtained off-line as a
+  hash table" over a quantised input grid —
+  :class:`~repro.approximation.table.LookupTableMap`;
+* the L2 controller's module-cost map ``J~`` is "a compact regression
+  tree" trained from simulation data —
+  :class:`~repro.approximation.regression_tree.RegressionTree`.
+
+:mod:`~repro.approximation.training` provides the simulation-based
+learning loop (Bertsekas & Tsitsiklis style): sweep a quantised input
+domain, run the lower-level simulation, store/fit the outputs.
+"""
+
+from repro.approximation.quantizer import GridQuantizer
+from repro.approximation.regression_tree import RegressionTree
+from repro.approximation.table import LookupTableMap
+from repro.approximation.training import TrainingSet, train_table, train_tree
+
+__all__ = [
+    "GridQuantizer",
+    "LookupTableMap",
+    "RegressionTree",
+    "TrainingSet",
+    "train_table",
+    "train_tree",
+]

@@ -1,0 +1,172 @@
+"""A CART regression tree, implemented from scratch.
+
+The L2 controller stores module costs in "a compact regression tree"
+(Breiman's CART): binary axis-aligned splits chosen to maximise variance
+reduction, with depth and leaf-size limits keeping the tree compact enough
+for real-time queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, NotTrainedError
+from repro.common.validation import require_positive
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a prediction, internals a split."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """Least-squares regression tree (CART).
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum split depth (keeps the tree "compact").
+    min_samples_leaf:
+        Minimum training samples on each side of a split.
+    min_variance_reduction:
+        Minimum absolute reduction in sum-of-squares for a split to be
+        accepted (pre-pruning).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_leaf: int = 4,
+        min_variance_reduction: float = 1e-9,
+    ) -> None:
+        self.max_depth = int(require_positive(max_depth, "max_depth"))
+        self.min_samples_leaf = int(
+            require_positive(min_samples_leaf, "min_samples_leaf")
+        )
+        if min_variance_reduction < 0:
+            raise ConfigurationError("min_variance_reduction must be >= 0")
+        self.min_variance_reduction = min_variance_reduction
+        self._root: _Node | None = None
+        self._n_features = 0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RegressionTree":
+        """Fit the tree to ``features`` (n, d) and ``targets`` (n,)."""
+        x = np.atleast_2d(np.asarray(features, dtype=float))
+        y = np.asarray(targets, dtype=float).reshape(-1)
+        if x.shape[0] != y.size:
+            raise ConfigurationError("features and targets must align")
+        if y.size == 0:
+            raise ConfigurationError("cannot fit on an empty dataset")
+        self._n_features = x.shape[1]
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()))
+        if depth >= self.max_depth or y.size < 2 * self.min_samples_leaf:
+            return node
+        split = self._best_split(x, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float] | None:
+        """Exhaustive variance-reduction split search (sorted-scan)."""
+        n = y.size
+        parent_sse = float(((y - y.mean()) ** 2).sum())
+        best: tuple[int, float] | None = None
+        best_gain = self.min_variance_reduction
+        for feature in range(x.shape[1]):
+            order = np.argsort(x[:, feature], kind="stable")
+            xs = x[order, feature]
+            ys = y[order]
+            cum_sum = np.cumsum(ys)
+            cum_sq = np.cumsum(ys**2)
+            total_sum, total_sq = cum_sum[-1], cum_sq[-1]
+            # Candidate split after position i (left = 0..i).
+            for i in range(self.min_samples_leaf - 1, n - self.min_samples_leaf):
+                if xs[i] == xs[i + 1]:
+                    continue  # cannot separate equal values
+                left_n = i + 1
+                right_n = n - left_n
+                left_sse = cum_sq[i] - cum_sum[i] ** 2 / left_n
+                right_sum = total_sum - cum_sum[i]
+                right_sse = (total_sq - cum_sq[i]) - right_sum**2 / right_n
+                gain = parent_sse - (left_sse + right_sse)
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float((xs[i] + xs[i + 1]) / 2.0))
+        return best
+
+    # ------------------------------------------------------------------
+    # Prediction and introspection
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features`` (n, d) or a single point (d,)."""
+        root = self._require_fit()
+        x = np.asarray(features, dtype=float)
+        single = x.ndim == 1
+        x = np.atleast_2d(x)
+        if x.shape[1] != self._n_features:
+            raise ConfigurationError(
+                f"expected {self._n_features} features, got {x.shape[1]}"
+            )
+        out = np.empty(x.shape[0])
+        for i, row in enumerate(x):
+            node = root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out[0] if single else out
+
+    def predict_one(self, point) -> float:
+        """Scalar prediction for one input point."""
+        return float(self.predict(np.asarray(point, dtype=float)))
+
+    @property
+    def depth(self) -> int:
+        """Realised depth of the fitted tree."""
+        return self._measure_depth(self._require_fit())
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaves in the fitted tree."""
+        return self._count_leaves(self._require_fit())
+
+    def _require_fit(self) -> _Node:
+        if self._root is None:
+            raise NotTrainedError("RegressionTree.fit must be called before use")
+        return self._root
+
+    def _measure_depth(self, node: _Node) -> int:
+        if node.is_leaf:
+            return 0
+        return 1 + max(self._measure_depth(node.left), self._measure_depth(node.right))
+
+    def _count_leaves(self, node: _Node) -> int:
+        if node.is_leaf:
+            return 1
+        return self._count_leaves(node.left) + self._count_leaves(node.right)

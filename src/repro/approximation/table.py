@@ -1,0 +1,91 @@
+"""Hash-table function approximation over a quantised grid.
+
+This realises the paper's abstraction map ``g``: "initially obtained in
+off-line fashion by simulating the L0 controller using various values from
+the input set ... and then (infrequently) adjusted using continuous
+observations of actual system behavior". :meth:`LookupTableMap.adjust`
+implements that online refinement as an exponentially-smoothed update.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, NotTrainedError
+from repro.common.validation import require_between
+from repro.approximation.quantizer import GridQuantizer
+
+
+class LookupTableMap:
+    """Maps quantised input points to output vectors."""
+
+    def __init__(self, quantizer: GridQuantizer, output_dim: int = 1) -> None:
+        if output_dim < 1:
+            raise ConfigurationError("output_dim must be >= 1")
+        self.quantizer = quantizer
+        self.output_dim = int(output_dim)
+        self._table: dict[tuple[int, ...], np.ndarray] = {}
+
+    @property
+    def entries(self) -> int:
+        """Number of populated grid cells."""
+        return len(self._table)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the grid populated."""
+        return self.entries / self.quantizer.cell_count
+
+    def store(self, point: Sequence[float], output: Sequence[float]) -> None:
+        """Record the output for the grid cell containing ``point``."""
+        key = self.quantizer.snap_indices(point)
+        value = np.asarray(output, dtype=float).reshape(-1)
+        if value.shape != (self.output_dim,):
+            raise ConfigurationError(
+                f"output must have {self.output_dim} entries, got {value.shape}"
+            )
+        self._table[key] = value.copy()
+
+    def query(self, point: Sequence[float]) -> np.ndarray:
+        """Output stored at the nearest populated cell.
+
+        Falls back to the nearest populated neighbour (Manhattan ring
+        search) when the snapped cell is empty — the training grid can be
+        sparse at the domain edges.
+        """
+        if not self._table:
+            raise NotTrainedError("lookup table is empty; train it first")
+        key = self.quantizer.snap_indices(point)
+        hit = self._table.get(key)
+        if hit is not None:
+            return hit.copy()
+        return self._nearest_populated(key).copy()
+
+    def adjust(
+        self,
+        point: Sequence[float],
+        observed: Sequence[float],
+        learning_rate: float = 0.1,
+    ) -> None:
+        """Online refinement from an actual-behaviour observation."""
+        require_between(learning_rate, 0.0, 1.0, "learning_rate")
+        key = self.quantizer.snap_indices(point)
+        value = np.asarray(observed, dtype=float).reshape(-1)
+        if value.shape != (self.output_dim,):
+            raise ConfigurationError(
+                f"observed must have {self.output_dim} entries, got {value.shape}"
+            )
+        current = self._table.get(key)
+        if current is None:
+            self._table[key] = value.copy()
+        else:
+            self._table[key] = (1 - learning_rate) * current + learning_rate * value
+
+    def _nearest_populated(self, key: tuple[int, ...]) -> np.ndarray:
+        best_key = min(
+            self._table,
+            key=lambda other: sum(abs(a - b) for a, b in zip(key, other)),
+        )
+        return self._table[best_key]

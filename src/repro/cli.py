@@ -1,0 +1,129 @@
+"""Command-line entry point: ``python -m repro.cli <experiment>``.
+
+Lets a user regenerate the paper's experiments without writing code:
+
+.. code-block:: bash
+
+    python -m repro.cli fig4               # module-of-four day (Figs. 4/5)
+    python -m repro.cli fig6               # WC'98 day on 16 computers (Figs. 6/7)
+    python -m repro.cli overhead           # §4.3 controller-overhead table
+    python -m repro.cli baselines          # LLC vs threshold heuristics
+    python -m repro.cli fig4 --samples 240 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.common.ascii_chart import line_chart, sparkline
+from repro.sim.experiments import (
+    cluster_experiment,
+    module_experiment,
+    overhead_experiment,
+)
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    result = module_experiment(m=4, l1_samples=args.samples, seed=args.seed)
+    print(line_chart(result.l1_arrivals, title="arrivals per 2-min period", height=8))
+    print()
+    print(line_chart(result.computers_on, title="computers on (of 4)", height=5))
+    print()
+    c4 = result.computer_names.index("M1.C4")
+    print(line_chart(result.frequencies[:, c4], title="C4 frequency (GHz)", height=5))
+    print()
+    print(result.summary())
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    result = cluster_experiment(p=4, samples=args.samples, seed=args.seed)
+    print(line_chart(result.global_arrivals, title="WC'98 arrivals per 2-min", height=8))
+    print()
+    print(
+        line_chart(result.total_computers_on, title="computers on (of 16)", height=6)
+    )
+    print()
+    print("per-module gamma_i:")
+    for i, name in enumerate(result.module_names):
+        print(f"  {name}: {sparkline(result.gamma_history[:, i], width=60)}")
+    print()
+    print(result.summary())
+    print(f"hierarchy path time: {1e3 * result.hierarchy_path_seconds():.1f} ms/period")
+
+
+def _cmd_overhead(args: argparse.Namespace) -> None:
+    print(f"{'m':>4} | {'L1 states/period':>16} | {'combined L0+L1 (s)':>18}")
+    print("-" * 46)
+    for m in (4, 6, 10):
+        measurement = overhead_experiment(
+            m=m, l1_samples=args.samples, seed=args.seed
+        )
+        print(
+            f"{m:>4} | {measurement.l1_mean_states:>16.0f} | "
+            f"{measurement.combined_seconds:>18.2f}"
+        )
+
+
+def _cmd_baselines(args: argparse.Namespace) -> None:
+    from repro.cluster import paper_module_spec
+    from repro.controllers import (
+        AlwaysOnMaxController,
+        ThresholdDvfsController,
+        ThresholdOnOffController,
+    )
+
+    policies = {
+        "llc-hierarchy": {},
+        "threshold-on/off": {"baseline": ThresholdOnOffController(paper_module_spec())},
+        "threshold+dvfs": {"baseline": ThresholdDvfsController(paper_module_spec())},
+        "always-on-max": {"baseline": AlwaysOnMaxController(paper_module_spec())},
+    }
+    print(f"{'policy':>18} | {'mean r':>6} | {'energy':>9} | {'avg on':>6}")
+    print("-" * 50)
+    for name, kwargs in policies.items():
+        summary = module_experiment(
+            m=4, l1_samples=args.samples, seed=args.seed, **kwargs
+        ).summary()
+        print(
+            f"{name:>18} | {summary.mean_response:>6.2f} | "
+            f"{summary.total_energy:>9.0f} | {summary.mean_computers_on:>6.2f}"
+        )
+
+
+_COMMANDS = {
+    "fig4": (_cmd_fig4, 480),
+    "fig6": (_cmd_fig6, 300),
+    "overhead": (_cmd_overhead, 200),
+    "baselines": (_cmd_baselines, 240),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Reproduce the ICDCS'06 LLC experiments."
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (_, default_samples) in _COMMANDS.items():
+        sub = subparsers.add_parser(name)
+        sub.add_argument(
+            "--samples", type=int, default=default_samples,
+            help="run length in 2-minute periods",
+        )
+        sub.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler, _ = _COMMANDS[args.command]
+    handler(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The whole cluster: the set of modules one L2 controller manages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ControlError
+from repro.cluster.module import Module
+from repro.cluster.specs import ClusterSpec
+
+
+class Cluster:
+    """Plant-side container of a cluster's modules."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        initially_on: bool = True,
+        discrete_event: bool = False,
+        seed: "int | None" = None,
+    ) -> None:
+        self.spec = spec
+        self.modules = [
+            Module(
+                m,
+                initially_on=initially_on,
+                discrete_event=discrete_event,
+                seed=None if seed is None else seed + i,
+            )
+            for i, m in enumerate(spec.modules)
+        ]
+
+    @property
+    def module_count(self) -> int:
+        """Number of modules p."""
+        return len(self.modules)
+
+    @property
+    def computer_count(self) -> int:
+        """Total computers across modules."""
+        return sum(m.size for m in self.modules)
+
+    @property
+    def active_count(self) -> int:
+        """Computers currently serving across the cluster."""
+        return sum(m.active_count for m in self.modules)
+
+    def split_arrivals(self, total_arrivals: float, gamma: np.ndarray) -> np.ndarray:
+        """Split global arrivals across modules by the L2 gamma vector."""
+        gamma = np.asarray(gamma, dtype=float)
+        if gamma.shape != (self.module_count,):
+            raise ControlError(
+                f"gamma must have shape ({self.module_count},), got {gamma.shape}"
+            )
+        from repro.cluster.dispatcher import WeightedDispatcher
+
+        return WeightedDispatcher.split_fluid(total_arrivals, gamma)
+
+    def total_energy(self) -> float:
+        """Total energy consumed by all modules so far."""
+        return float(sum(m.total_energy() for m in self.modules))

@@ -1,0 +1,225 @@
+"""The plant model of one computer: queue + DVFS + power state + energy.
+
+A :class:`Computer` is the physical entity the controllers act on. It has
+two interchangeable queue backends:
+
+* **fluid** — queue lengths evolve by the paper's difference equations;
+  this is what the original MATLAB evaluation simulates, and what the
+  benchmark harness uses.
+* **discrete-event** — request-granular FCFS via
+  :class:`~repro.queueing.lindley.FcfsServer`; used to validate the fluid
+  results at request granularity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ControlError, SimulationError
+from repro.common.validation import require_non_negative, require_positive
+from repro.cluster.lifecycle import MachineLifecycle, PowerState
+from repro.cluster.power import EnergyMeter
+from repro.cluster.specs import ComputerSpec
+from repro.queueing.fluid import FluidServerModel, fluid_step
+from repro.queueing.lindley import FcfsServer
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of advancing one computer by one sampling period."""
+
+    arrivals: float
+    served: float
+    queue: float
+    response_time: float  # NaN when nothing was served
+    power: float
+    completed_responses: tuple[float, ...] = ()
+
+
+class Computer:
+    """One computer: spec + lifecycle + queue + frequency + energy meter."""
+
+    def __init__(
+        self,
+        spec: ComputerSpec,
+        initially_on: bool = True,
+        discrete_event: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.lifecycle = MachineLifecycle(
+            boot_delay=spec.boot_delay, initially_on=initially_on
+        )
+        self.model = FluidServerModel(
+            base_power=spec.base_power,
+            speed_factor=spec.effective_speed_factor,
+            power_scale=spec.power_scale,
+        )
+        self.frequency_index = spec.processor.setting_count - 1
+        self.queue = 0.0
+        self.energy = EnergyMeter()
+        self.server: FcfsServer | None = FcfsServer() if discrete_event else None
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------
+    # Control surface
+    # ------------------------------------------------------------------
+    @property
+    def phi(self) -> float:
+        """Current scaling factor u / u_max."""
+        return self.spec.processor.scaling_factor(self.frequency_index)
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Current operating frequency."""
+        return self.spec.processor.frequencies_ghz[self.frequency_index]
+
+    def set_frequency_index(self, index: int) -> None:
+        """Switch the DVFS setting (instantaneous, per the paper)."""
+        count = self.spec.processor.setting_count
+        if not 0 <= index < count:
+            raise ControlError(
+                f"frequency index {index} out of range 0..{count - 1}"
+            )
+        self.frequency_index = int(index)
+
+    def power_on(self) -> None:
+        """Command this machine on (boot dead time applies)."""
+        was_off = self.lifecycle.state is PowerState.OFF
+        self.lifecycle.power_on()
+        if was_off and self.lifecycle.state in (PowerState.BOOTING, PowerState.ON):
+            self.energy.add_transient(self.spec.boot_energy)
+
+    def power_off(self) -> None:
+        """Command this machine off (drains queued work first)."""
+        self.lifecycle.power_off()
+
+    def fail(self) -> float:
+        """Hard-fail this machine; returns the queue it was holding.
+
+        The returned backlog represents requests the load balancer must
+        re-dispatch (the callers redistribute it across surviving
+        machines).
+        """
+        self.lifecycle.fail()
+        orphaned = self.queue
+        self.queue = 0.0
+        if self.server is not None:
+            # Drop the DES backlog as well; re-dispatch is modelled at
+            # the fluid level only.
+            self.server = FcfsServer()
+        return orphaned
+
+    def repair(self) -> None:
+        """Repair a failed machine (returns to OFF; boot to reuse)."""
+        self.lifecycle.repair()
+
+    @property
+    def is_failed(self) -> bool:
+        """True while the machine is failed."""
+        return self.lifecycle.is_failed
+
+    @property
+    def is_serving(self) -> bool:
+        """True when the machine is processing requests."""
+        return self.lifecycle.is_serving
+
+    @property
+    def accepts_work(self) -> bool:
+        """True when the dispatcher may route new requests here."""
+        return self.lifecycle.accepts_work
+
+    @property
+    def queue_length(self) -> float:
+        """Current queue length (requests), whichever backend is active."""
+        if self.server is not None:
+            return float(self.server.queue_length)
+        return self.queue
+
+    # ------------------------------------------------------------------
+    # Fluid plant step
+    # ------------------------------------------------------------------
+    def step_fluid(self, arrivals: float, mean_work: float, dt: float) -> StepResult:
+        """Advance the fluid queue one period of length ``dt`` seconds.
+
+        ``arrivals`` is the number of requests dispatched here during the
+        period and ``mean_work`` their average full-speed processing time
+        (the paper's c).
+        """
+        if self.server is not None:
+            raise SimulationError("computer is in discrete-event mode")
+        require_non_negative(arrivals, "arrivals")
+        require_positive(mean_work, "mean_work")
+        require_positive(dt, "dt")
+        if arrivals > 0 and not (self.accepts_work or self.lifecycle.state is PowerState.BOOTING):
+            raise ControlError(
+                f"{self.spec.name} received arrivals while {self.lifecycle.state.value}"
+            )
+        start_queue = self.queue
+        if self.is_serving:
+            rate = float(self.model.service_rate(self.phi, mean_work))
+            capacity = rate * dt
+        else:
+            capacity = 0.0
+        next_queue, served = fluid_step(start_queue, arrivals, capacity)
+        self.queue = float(next_queue)
+        response = float("nan")
+        if served > 0 and self.is_serving:
+            mid_queue = (start_queue + self.queue) / 2.0
+            response = float(
+                self.model.response_time(mid_queue, mean_work, self.phi)
+            )
+        power = self._record_energy(dt)
+        self.lifecycle.tick(dt, queue_empty=self.queue <= 1e-9)
+        self._clock += dt
+        return StepResult(
+            arrivals=arrivals,
+            served=float(served),
+            queue=self.queue,
+            response_time=response,
+            power=power,
+        )
+
+    # ------------------------------------------------------------------
+    # Discrete-event plant step
+    # ------------------------------------------------------------------
+    def offer_requests(self, arrival_times: np.ndarray, works: np.ndarray) -> None:
+        """Enqueue request-granular work (discrete-event mode only)."""
+        if self.server is None:
+            raise SimulationError("computer is in fluid mode")
+        self.server.offer(arrival_times, works)
+
+    def step_des(self, dt: float) -> StepResult:
+        """Advance the discrete-event server one period."""
+        if self.server is None:
+            raise SimulationError("computer is in fluid mode")
+        require_positive(dt, "dt")
+        start_queue = float(self.server.queue_length)
+        speed = self.model.speed_factor * self.phi if self.is_serving else 0.0
+        completed = self.server.advance(until=self._clock + dt, speed=speed)
+        responses = tuple(r.response_time for r in completed)
+        power = self._record_energy(dt)
+        self.lifecycle.tick(dt, queue_empty=self.server.queue_length == 0)
+        self._clock += dt
+        served = float(len(completed))
+        return StepResult(
+            arrivals=math.nan,
+            served=served,
+            queue=float(self.server.queue_length),
+            response_time=float(np.mean(responses)) if responses else float("nan"),
+            power=power,
+            completed_responses=responses,
+        )
+
+    def _record_energy(self, dt: float) -> float:
+        """Meter this period's power draw; returns average power."""
+        if not self.lifecycle.draws_power:
+            return 0.0
+        base = self.spec.base_power
+        dynamic = (
+            float(self.model.power(self.phi)) - base if self.is_serving else 0.0
+        )
+        self.energy.add_interval(base, dynamic, dt)
+        return base + dynamic

@@ -1,0 +1,57 @@
+"""Workload dispatching by quantised load fractions (the gamma vectors).
+
+The L1 controller hands the dispatcher a fraction gamma_j per computer
+(and the L2 controller a fraction gamma_i per module); the dispatcher
+splits the arrival stream accordingly. In fluid mode the split is exact
+and fractional; in discrete-event mode each request is assigned
+independently with probability gamma (a multinomial split), which is how
+a weighted random load balancer behaves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import spawn_rng
+from repro.common.validation import require_probability_vector
+
+
+class WeightedDispatcher:
+    """Splits arrivals across targets according to a fraction vector."""
+
+    def __init__(self, seed: "int | np.random.Generator | None" = None) -> None:
+        self._rng = spawn_rng(seed)
+
+    @staticmethod
+    def split_fluid(total_arrivals: float, gamma: np.ndarray) -> np.ndarray:
+        """Exact fractional split of a fluid arrival count."""
+        gamma = require_probability_vector(gamma, "gamma")
+        if total_arrivals < 0:
+            raise ValueError("total_arrivals must be >= 0")
+        return gamma * float(total_arrivals)
+
+    def split_requests(
+        self,
+        arrival_times: np.ndarray,
+        works: np.ndarray,
+        gamma: np.ndarray,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Assign each request to a target with probability gamma_j.
+
+        Returns one ``(arrival_times, works)`` pair per target, each in
+        arrival order.
+        """
+        gamma = require_probability_vector(gamma, "gamma")
+        times = np.asarray(arrival_times, dtype=float)
+        work = np.asarray(works, dtype=float)
+        if times.shape != work.shape:
+            raise ValueError("arrival_times and works must align")
+        if times.size == 0:
+            empty = np.zeros(0)
+            return [(empty.copy(), empty.copy()) for _ in gamma]
+        assignment = self._rng.choice(gamma.size, size=times.size, p=gamma)
+        out = []
+        for j in range(gamma.size):
+            mask = assignment == j
+            out.append((times[mask], work[mask]))
+        return out

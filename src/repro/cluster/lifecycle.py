@@ -1,0 +1,109 @@
+"""Machine power-state machine with boot dead time.
+
+(De)activating a computer is the canonical "control action with dead time"
+motivating the paper's proactive control: a machine switched on consumes
+base power during its boot delay but serves nothing. States:
+
+    OFF --power_on--> BOOTING --(boot_delay elapses)--> ON
+    ON  --power_off--> DRAINING --(queue empties)--> OFF
+
+DRAINING machines finish their queued work (at full speed) but receive no
+new arrivals; this mirrors the graceful-shutdown behaviour a load balancer
+provides in practice and keeps requests from being dropped.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.errors import ControlError
+from repro.common.validation import require_non_negative
+
+
+class PowerState(enum.Enum):
+    """Operating condition of one computer."""
+
+    OFF = "off"
+    BOOTING = "booting"
+    ON = "on"
+    DRAINING = "draining"
+    FAILED = "failed"
+
+
+class MachineLifecycle:
+    """Tracks one machine's power state through time."""
+
+    def __init__(self, boot_delay: float = 120.0, initially_on: bool = True) -> None:
+        self.boot_delay = require_non_negative(boot_delay, "boot_delay")
+        self.state = PowerState.ON if initially_on else PowerState.OFF
+        self._boot_remaining = 0.0
+        self.switch_on_count = 0
+        self.switch_off_count = 0
+
+    @property
+    def is_serving(self) -> bool:
+        """True when the machine can process requests (ON or DRAINING)."""
+        return self.state in (PowerState.ON, PowerState.DRAINING)
+
+    @property
+    def accepts_work(self) -> bool:
+        """True when the dispatcher may route new requests here."""
+        return self.state is PowerState.ON
+
+    @property
+    def draws_power(self) -> bool:
+        """True when the machine consumes energy (not OFF, not FAILED)."""
+        return self.state not in (PowerState.OFF, PowerState.FAILED)
+
+    def fail(self) -> None:
+        """Hard failure: the machine stops instantly and cannot serve."""
+        self.state = PowerState.FAILED
+        self._boot_remaining = 0.0
+
+    def repair(self) -> None:
+        """Repair a failed machine; it returns to the OFF state."""
+        if self.state is PowerState.FAILED:
+            self.state = PowerState.OFF
+
+    @property
+    def is_failed(self) -> bool:
+        """True while the machine is failed (cannot be powered on)."""
+        return self.state is PowerState.FAILED
+
+    def power_on(self) -> None:
+        """Command the machine on; a no-op if already on, booting, or failed."""
+        if self.state in (PowerState.ON, PowerState.BOOTING, PowerState.FAILED):
+            return
+        if self.state is PowerState.DRAINING:
+            # Cancel the shutdown; the machine never stopped serving.
+            self.state = PowerState.ON
+            return
+        self.state = PowerState.BOOTING
+        self._boot_remaining = self.boot_delay
+        self.switch_on_count += 1
+        if self.boot_delay == 0.0:
+            self.state = PowerState.ON
+
+    def power_off(self) -> None:
+        """Command the machine off; it drains queued work first."""
+        if self.state in (PowerState.OFF, PowerState.DRAINING, PowerState.FAILED):
+            return
+        if self.state is PowerState.BOOTING:
+            # Abort the boot outright; nothing was queued yet.
+            self.state = PowerState.OFF
+            self._boot_remaining = 0.0
+            return
+        self.state = PowerState.DRAINING
+        self.switch_off_count += 1
+
+    def tick(self, dt: float, queue_empty: bool) -> None:
+        """Advance time: complete boots and finish drains."""
+        if dt < 0:
+            raise ControlError("lifecycle cannot tick backwards")
+        if self.state is PowerState.BOOTING:
+            self._boot_remaining -= dt
+            if self._boot_remaining <= 1e-12:
+                self._boot_remaining = 0.0
+                self.state = PowerState.ON
+        elif self.state is PowerState.DRAINING and queue_empty:
+            self.state = PowerState.OFF

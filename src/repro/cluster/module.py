@@ -1,0 +1,170 @@
+"""A module: the group of computers one L1 controller manages.
+
+Provides the plant-side stepping (split arrivals by gamma, advance every
+computer) and the state aggregation the upper levels observe — the paper's
+eqs. (10)-(12): average queue length, summed arrivals, and average
+processing time over the L1 sampling interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ControlError
+from repro.cluster.computer import Computer, StepResult
+from repro.cluster.dispatcher import WeightedDispatcher
+from repro.cluster.specs import ModuleSpec
+
+
+@dataclass(frozen=True)
+class ModuleObservation:
+    """Aggregated module state over one upper-level sampling interval.
+
+    ``queue_length`` is the per-computer average (eq. 10), ``arrivals``
+    the total seen by the module (eq. 11), and ``mean_work`` the average
+    request processing time (eq. 12).
+    """
+
+    queue_length: float
+    arrivals: float
+    mean_work: float
+
+    @staticmethod
+    def aggregate(
+        queue_samples: np.ndarray, arrivals: np.ndarray, works: np.ndarray
+    ) -> "ModuleObservation":
+        """Fold raw per-substep samples into one observation."""
+        return ModuleObservation(
+            queue_length=float(np.mean(queue_samples)) if np.size(queue_samples) else 0.0,
+            arrivals=float(np.sum(arrivals)),
+            mean_work=float(np.mean(works)) if np.size(works) else 0.0,
+        )
+
+
+class Module:
+    """Plant-side container of the computers in one module."""
+
+    def __init__(
+        self,
+        spec: ModuleSpec,
+        initially_on: bool = True,
+        discrete_event: bool = False,
+        seed: "int | None" = None,
+    ) -> None:
+        self.spec = spec
+        self.computers = [
+            Computer(c, initially_on=initially_on, discrete_event=discrete_event)
+            for c in spec.computers
+        ]
+        self.dispatcher = WeightedDispatcher(seed=seed)
+
+    @property
+    def size(self) -> int:
+        """Number of computers m."""
+        return len(self.computers)
+
+    @property
+    def active_count(self) -> int:
+        """Computers currently serving (ON or DRAINING)."""
+        return sum(1 for c in self.computers if c.is_serving)
+
+    @property
+    def on_count(self) -> int:
+        """Computers currently accepting new work."""
+        return sum(1 for c in self.computers if c.accepts_work)
+
+    @property
+    def queue_lengths(self) -> np.ndarray:
+        """Per-computer queue lengths."""
+        return np.array([c.queue_length for c in self.computers])
+
+    @property
+    def available_mask(self) -> np.ndarray:
+        """Boolean mask of machines that are not failed."""
+        return np.array([not c.is_failed for c in self.computers])
+
+    def apply_configuration(self, alpha: np.ndarray) -> None:
+        """Apply an on/off vector (the L1 controller's alpha decision).
+
+        Failed machines ignore power commands (their lifecycle pins them
+        to FAILED until repaired).
+        """
+        alpha = np.asarray(alpha)
+        if alpha.shape != (self.size,):
+            raise ControlError(
+                f"alpha must have shape ({self.size},), got {alpha.shape}"
+            )
+        for computer, on in zip(self.computers, alpha):
+            if on:
+                computer.power_on()
+            else:
+                computer.power_off()
+
+    def fail_computer(self, index: int) -> float:
+        """Hard-fail one machine and re-dispatch its backlog.
+
+        The orphaned queue is spread over the remaining serving machines
+        proportionally to their capacity; if nobody is serving, it is
+        parked on the fastest available machine's queue (it will be
+        served once that machine boots). Returns the orphaned backlog.
+        """
+        if not 0 <= index < self.size:
+            raise ControlError(f"no computer at index {index}")
+        orphaned = self.computers[index].fail()
+        if orphaned <= 0:
+            return orphaned
+        serving = [
+            c for i, c in enumerate(self.computers)
+            if i != index and c.is_serving
+        ]
+        if serving:
+            weights = np.array([c.model.speed_factor for c in serving])
+            shares = orphaned * weights / weights.sum()
+            for computer, share in zip(serving, shares):
+                computer.queue += float(share)
+        else:
+            fallback = max(
+                (c for c in self.computers if not c.is_failed),
+                key=lambda c: c.model.speed_factor,
+                default=None,
+            )
+            if fallback is not None:
+                fallback.queue += orphaned
+        return orphaned
+
+    def repair_computer(self, index: int) -> None:
+        """Repair a failed machine (it returns to OFF)."""
+        if not 0 <= index < self.size:
+            raise ControlError(f"no computer at index {index}")
+        self.computers[index].repair()
+
+    def step_fluid(
+        self, arrivals: float, mean_work: float, dt: float, gamma: np.ndarray
+    ) -> list[StepResult]:
+        """Split ``arrivals`` by gamma and advance every computer."""
+        gamma = np.asarray(gamma, dtype=float)
+        if gamma.shape != (self.size,):
+            raise ControlError(
+                f"gamma must have shape ({self.size},), got {gamma.shape}"
+            )
+        shares = self.dispatcher.split_fluid(arrivals, gamma)
+        results = []
+        for computer, share in zip(self.computers, shares):
+            results.append(computer.step_fluid(share, mean_work, dt))
+        return results
+
+    def total_power(self, results: list[StepResult]) -> float:
+        """Sum of per-computer power draws for one step."""
+        return float(sum(r.power for r in results))
+
+    def total_energy(self) -> float:
+        """Total energy consumed by the module so far."""
+        return float(sum(c.energy.total for c in self.computers))
+
+    def switch_counts(self) -> tuple[int, int]:
+        """Total (switch_on, switch_off) events across computers."""
+        on = sum(c.lifecycle.switch_on_count for c in self.computers)
+        off = sum(c.lifecycle.switch_off_count for c in self.computers)
+        return on, off

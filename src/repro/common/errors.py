@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A spec, parameter set, or controller configuration is invalid."""
+
+
+class ControlError(ReproError):
+    """A controller could not produce an admissible control action."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class NotTrainedError(ReproError):
+    """A learned approximation was queried before being trained."""

@@ -1,0 +1,68 @@
+"""Small argument-validation helpers used across the library.
+
+These raise :class:`~repro.common.errors.ConfigurationError` with uniform
+messages so construction failures are easy to diagnose from test output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+#: Absolute tolerance for "sums to one" checks on quantised simplex vectors.
+SIMPLEX_ATOL = 1e-9
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, else raise ConfigurationError."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if >= 0, else raise ConfigurationError."""
+    if not value >= 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_between(value: float, low: float, high: float, name: str) -> float:
+    """Return ``value`` if within ``[low, high]``, else raise."""
+    if not (low <= value <= high):
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return value
+
+
+def require_in(value: object, options: Iterable[object], name: str) -> object:
+    """Return ``value`` if it is one of ``options``, else raise."""
+    options = tuple(options)
+    if value not in options:
+        raise ConfigurationError(f"{name} must be one of {options}, got {value!r}")
+    return value
+
+
+def require_probability_vector(
+    values: Sequence[float], name: str, atol: float = 1e-6
+) -> np.ndarray:
+    """Validate a vector of non-negative fractions summing to one.
+
+    Returns the vector as a float ndarray. Used for load-distribution
+    factors (the paper's gamma vectors).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ConfigurationError(f"{name} must be one-dimensional")
+    if arr.size == 0:
+        raise ConfigurationError(f"{name} must be non-empty")
+    if np.any(arr < -atol):
+        raise ConfigurationError(f"{name} must be non-negative, got {arr}")
+    total = float(arr.sum())
+    if abs(total - 1.0) > atol:
+        raise ConfigurationError(f"{name} must sum to 1, got sum={total}")
+    return np.clip(arr, 0.0, None)

@@ -1,0 +1,43 @@
+"""The three-level controller hierarchy and heuristic baselines.
+
+* :class:`~repro.controllers.l0.L0Controller` — per-computer DVFS
+  frequency selection by exhaustive lookahead (§4.1);
+* :class:`~repro.controllers.l1.L1Controller` — per-module on/off (alpha)
+  and load-fraction (gamma) decisions by bounded search over a learned
+  abstraction map, with uncertainty-band chattering mitigation (§4.2);
+* :class:`~repro.controllers.l2.L2Controller` — cluster-level module
+  shares over a regression-tree cost map (§5);
+* :mod:`~repro.controllers.baselines` — the threshold heuristics the
+  paper positions itself against ([14, 25]) plus an always-on reference.
+"""
+
+from repro.controllers.baselines import (
+    AlwaysOnMaxController,
+    BaselineDecision,
+    ThresholdDvfsController,
+    ThresholdOnOffController,
+)
+from repro.controllers.l0 import L0Controller, L0Decision
+from repro.controllers.l1 import ComputerBehaviorMap, L1Controller, L1Decision
+from repro.controllers.l2 import L2Controller, L2Decision, ModuleCostMap
+from repro.controllers.params import L0Params, L1Params, L2Params
+from repro.controllers.stats import ControllerStats
+
+__all__ = [
+    "AlwaysOnMaxController",
+    "BaselineDecision",
+    "ComputerBehaviorMap",
+    "ControllerStats",
+    "L0Controller",
+    "L0Decision",
+    "L0Params",
+    "L1Controller",
+    "L1Decision",
+    "L1Params",
+    "L2Controller",
+    "L2Decision",
+    "L2Params",
+    "ModuleCostMap",
+    "ThresholdDvfsController",
+    "ThresholdOnOffController",
+]

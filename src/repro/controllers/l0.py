@@ -1,0 +1,142 @@
+"""The L0 controller: per-computer DVFS frequency selection (§4.1).
+
+Exhaustive limited lookahead over the processor's finite frequency set:
+a tree of all |U|^q states, q = 1..N_L0, evaluated on the queueing
+difference model (eqs. 5-7) with the slack cost J = Q*eps + R*psi. The
+search is vectorised: all paths at a depth are expanded simultaneously as
+numpy arrays, which is what makes the full-day module simulations cheap.
+
+The controller owns its own environment estimators — a Kalman-filter
+workload predictor at T_L0 granularity and the paper's pi = 0.1 EWMA
+filter for processing times — fed via :meth:`observe`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.cluster.specs import ComputerSpec
+from repro.controllers.params import L0Params
+from repro.controllers.stats import ControllerStats
+from repro.core.cost import SlackResponseCost
+from repro.forecast.ewma import EwmaFilter
+from repro.forecast.structural import WorkloadPredictor
+from repro.queueing.fluid import FluidServerModel
+
+
+@dataclass(frozen=True)
+class L0Decision:
+    """Outcome of one L0 optimisation."""
+
+    frequency_index: int
+    expected_cost: float
+    states_explored: int
+
+
+class L0Controller:
+    """Frequency controller for one computer."""
+
+    def __init__(self, spec: ComputerSpec, params: L0Params | None = None) -> None:
+        self.spec = spec
+        self.params = params or L0Params()
+        self.model = FluidServerModel(
+            base_power=spec.base_power,
+            speed_factor=spec.effective_speed_factor,
+            power_scale=spec.power_scale,
+        )
+        self.cost = SlackResponseCost(self.params.target_response, self.params.weights)
+        self.phis = spec.processor.scaling_factors
+        self.stats = ControllerStats()
+        self.predictor = WorkloadPredictor()
+        self.work_filter = EwmaFilter(smoothing=0.1)
+
+    # ------------------------------------------------------------------
+    # Online estimation
+    # ------------------------------------------------------------------
+    def observe(self, arrival_count: float, measured_work: float | None) -> None:
+        """Feed the period's local arrivals and measured processing time."""
+        self.predictor.observe(float(arrival_count))
+        if measured_work is not None and measured_work > 0:
+            self.work_filter.observe(float(measured_work))
+
+    @property
+    def work_estimate(self) -> float:
+        """Current c-hat (falls back to 17.5 ms before any observation)."""
+        estimate = self.work_filter.estimate
+        return estimate if estimate > 0 else 0.0175
+
+    def act(self, queue: float) -> L0Decision:
+        """Decide the next frequency from the current queue length.
+
+        Uses the internal predictor for the horizon's arrival-rate
+        forecasts; see :meth:`decide` for the pure optimisation.
+        """
+        counts = self.predictor.forecast(self.params.horizon)
+        rates = counts / self.params.period
+        return self.decide(queue, rates, self.work_estimate)
+
+    # ------------------------------------------------------------------
+    # The optimisation itself (pure; used directly for map training)
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        queue: float,
+        rate_forecasts: np.ndarray,
+        work_estimate: float,
+    ) -> L0Decision:
+        """Exhaustive vectorised lookahead; returns the best first action.
+
+        ``rate_forecasts`` holds the predicted arrival rate (requests/s)
+        for each horizon step; ``work_estimate`` is c-hat.
+        """
+        rates = np.asarray(rate_forecasts, dtype=float)
+        if rates.size < self.params.horizon:
+            raise ConfigurationError(
+                f"need {self.params.horizon} rate forecasts, got {rates.size}"
+            )
+        if work_estimate <= 0:
+            raise ConfigurationError("work_estimate must be positive")
+        if self.params.robustness_margin > 0:
+            rates = rates * (1.0 + self.params.robustness_margin)
+        started = time.perf_counter()
+
+        n_controls = self.phis.size
+        period = self.params.period
+        service_rates = self.model.service_rate(self.phis, work_estimate)
+        capacities = service_rates * period  # requests servable per period
+        powers = np.asarray(self.model.power(self.phis), dtype=float)
+        effective_service = work_estimate / (
+            self.phis * self.model.speed_factor
+        )  # seconds per request at each setting
+
+        queues = np.array([float(queue)])
+        costs = np.zeros(1)
+        first_action = np.array([-1])
+        explored = 0
+        for depth in range(self.params.horizon):
+            arrivals = max(rates[depth], 0.0) * period
+            # Expand every path by every control: shape (paths, |U|).
+            next_queues = np.clip(
+                queues[:, None] + arrivals - capacities[None, :], 0.0, None
+            )
+            responses = (1.0 + next_queues) * effective_service[None, :]
+            step_costs = self.cost.evaluate(responses, powers[None, :])
+            explored += next_queues.size
+            costs = (costs[:, None] + step_costs).ravel()
+            queues = next_queues.ravel()
+            if depth == 0:
+                first_action = np.tile(np.arange(n_controls), 1)
+            else:
+                first_action = np.repeat(first_action, n_controls)
+        best = int(np.argmin(costs))
+        decision = L0Decision(
+            frequency_index=int(first_action[best]),
+            expected_cost=float(costs[best]),
+            states_explored=explored,
+        )
+        self.stats.record(explored, time.perf_counter() - started)
+        return decision

@@ -1,0 +1,329 @@
+"""The L2 controller: cluster-level load distribution (§5).
+
+Every T_L2 the controller observes each module's aggregate state (average
+queue length, processing time), forecasts the global arrival rate, and
+decides the fraction gamma_i of arrivals to dispatch to each module,
+minimising sum_i J~_i over the horizon.
+
+A module's behaviour "includes complex and non-linear interaction between
+its L0 and L1 controllers" that no closed-form model captures, so J~_i is
+an approximation architecture obtained by simulation-based learning: the
+full Fig. 2(b) control structure (L1 bounded search + L0 lookahead + the
+fluid plant) is simulated over a grid of training inputs, the results
+stored in a lookup table, and a compact CART regression tree trained from
+that table — exactly the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, ControlError
+from repro.approximation.training import TrainingSet, train_tree
+from repro.approximation.regression_tree import RegressionTree
+from repro.cluster.specs import ModuleSpec
+from repro.controllers.l0 import L0Controller
+from repro.controllers.l1 import ComputerBehaviorMap, L1Controller
+from repro.controllers.params import L0Params, L1Params, L2Params
+from repro.controllers.stats import ControllerStats
+from repro.core.simplex import enumerate_simplex, quantize_to_simplex, simplex_neighbors
+from repro.forecast.ewma import EwmaFilter
+from repro.forecast.structural import WorkloadPredictor
+
+
+@dataclass(frozen=True)
+class L2Decision:
+    """Outcome of one L2 optimisation."""
+
+    gamma: np.ndarray  # load fraction per module, sums to 1
+    expected_cost: float
+    states_explored: int
+
+
+class ModuleCostMap:
+    """The approximation architecture J~_i for one module.
+
+    Two regression trees over (average queue, module arrival rate,
+    processing time): one predicting the module's cost over a T_L2
+    interval, one predicting its final average queue (the high-level
+    dynamic map h needed for the second horizon term).
+    """
+
+    def __init__(
+        self,
+        spec: ModuleSpec,
+        cost_tree: RegressionTree,
+        queue_tree: RegressionTree,
+        dataset: TrainingSet,
+    ) -> None:
+        self.spec = spec
+        self.cost_tree = cost_tree
+        self.queue_tree = queue_tree
+        self.dataset = dataset
+
+    @classmethod
+    def train(
+        cls,
+        module_spec: ModuleSpec,
+        behavior_maps: "list[ComputerBehaviorMap] | None" = None,
+        l1_params: L1Params | None = None,
+        l0_params: L0Params | None = None,
+        queue_levels: np.ndarray | None = None,
+        rate_levels: np.ndarray | None = None,
+        work_levels: np.ndarray | None = None,
+        tree_depth: int = 10,
+    ) -> "ModuleCostMap":
+        """Simulate the Fig. 2(b) structure over a training grid.
+
+        Each cell plays one T_L2 interval: the L1 controller decides
+        (alpha, gamma) for the cell's load, then the L0 controllers and
+        the fluid plant run the module's computers through the interval.
+        """
+        l1_params = l1_params or L1Params()
+        l0_params = l0_params or L0Params()
+        l1 = L1Controller(module_spec, behavior_maps, l1_params, l0_params)
+        l0s = [L0Controller(c, l0_params) for c in module_spec.computers]
+        max_rate = module_spec.max_service_rate(0.0175)
+        if queue_levels is None:
+            queue_levels = np.array([0.0, 5.0, 20.0, 80.0, 320.0, 1280.0])
+        if rate_levels is None:
+            rate_levels = np.linspace(0.0, 1.2 * max_rate, 16)
+        if work_levels is None:
+            work_levels = np.array([0.014, 0.021])
+        dataset = TrainingSet()
+        for queue in queue_levels:
+            for rate in rate_levels:
+                for work in work_levels:
+                    cost, next_queue = cls._simulate_cell(
+                        module_spec, l1, l0s, float(queue), float(rate),
+                        float(work), l1.substep_count(), l0_params,
+                    )
+                    dataset.add([queue, rate, work], [cost, next_queue])
+        cost_tree = train_tree(dataset, target_column=0, max_depth=tree_depth)
+        queue_tree = train_tree(dataset, target_column=1, max_depth=tree_depth)
+        return cls(module_spec, cost_tree, queue_tree, dataset)
+
+    @staticmethod
+    def _steady_alpha(module_spec: ModuleSpec, rate: float, work: float) -> np.ndarray:
+        """Minimal efficient machine set that covers ``rate`` at ~75 % load."""
+        capacities = np.array(
+            [c.effective_speed_factor / work for c in module_spec.computers]
+        )
+        peak_powers = np.array(
+            [c.base_power + c.power_scale for c in module_spec.computers]
+        )
+        efficiency_order = np.argsort(-(capacities / peak_powers), kind="stable")
+        alpha = np.zeros(module_spec.size, dtype=bool)
+        covered = 0.0
+        needed = rate / 0.75
+        for j in efficiency_order:
+            alpha[j] = True
+            covered += capacities[j]
+            if covered >= needed:
+                break
+        return alpha
+
+    @classmethod
+    def _simulate_cell(
+        cls,
+        module_spec: ModuleSpec,
+        l1: L1Controller,
+        l0s: list[L0Controller],
+        queue_avg: float,
+        rate: float,
+        work: float,
+        substeps: int,
+        l0_params: L0Params,
+    ) -> tuple[float, float]:
+        """One T_L2 interval of the module under its own hierarchy."""
+        alpha0 = cls._steady_alpha(module_spec, rate, work)
+        queues = np.where(alpha0, queue_avg, 0.0).astype(float)
+        decision = l1.decide(
+            queues, alpha0, rate_hat=rate, rate_next=rate, delta=0.0, work=work
+        )
+        alpha = decision.alpha.astype(bool)
+        gamma = decision.gamma
+        serving = alpha & alpha0
+        draining = ~alpha & alpha0
+        booting = alpha & ~alpha0
+        switch_ons = int(booting.sum())
+        total_cost = l1.params.switching_weight * switch_ons
+        for _ in range(substeps):
+            for j, controller in enumerate(l0s):
+                if serving[j] or (draining[j] and queues[j] > 1e-9):
+                    local_rate = gamma[j] * rate if serving[j] else 0.0
+                    rates = np.full(l0_params.horizon, local_rate)
+                    freq = controller.decide(queues[j], rates, work)
+                    phi = float(controller.phis[freq.frequency_index])
+                    next_q, response, power = controller.model.predict(
+                        queues[j], local_rate, work, phi, l0_params.period
+                    )
+                    total_cost += float(controller.cost.evaluate(response, power))
+                    queues[j] = float(next_q)
+                elif booting[j]:
+                    total_cost += module_spec.computers[j].base_power
+        next_queue_avg = float(queues.mean())
+        return total_cost, next_queue_avg
+
+    def cost(self, queue_avg: float, rate: float, work: float) -> float:
+        """Predicted module cost for one interval."""
+        return self.cost_tree.predict_one([queue_avg, rate, work])
+
+    def next_queue(self, queue_avg: float, rate: float, work: float) -> float:
+        """Predicted end-of-interval average queue."""
+        return max(0.0, self.queue_tree.predict_one([queue_avg, rate, work]))
+
+
+class L2Controller:
+    """Cluster controller deciding module shares gamma_i."""
+
+    def __init__(
+        self,
+        module_maps: list[ModuleCostMap],
+        params: L2Params | None = None,
+    ) -> None:
+        if not module_maps:
+            raise ConfigurationError("need at least one module map")
+        self.maps = module_maps
+        self.params = params or L2Params()
+        self.stats = ControllerStats()
+        self.predictor = WorkloadPredictor()
+        self.work_filter = EwmaFilter(smoothing=0.1)
+        self.capacities = np.array(
+            [m.spec.max_service_rate(0.0175) for m in module_maps]
+        )
+
+    @property
+    def module_count(self) -> int:
+        """Number of modules p under control."""
+        return len(self.maps)
+
+    def observe(self, arrival_count: float, measured_work: float | None) -> None:
+        """Feed one T_L2 interval's global arrivals and processing time."""
+        self.predictor.observe(float(arrival_count))
+        if measured_work is not None and measured_work > 0:
+            self.work_filter.observe(float(measured_work))
+
+    @property
+    def work_estimate(self) -> float:
+        """Current global c-hat."""
+        estimate = self.work_filter.estimate
+        return estimate if estimate > 0 else 0.0175
+
+    def act(self, queue_avgs: np.ndarray, gamma_current: np.ndarray | None = None) -> L2Decision:
+        """Decide using the internal predictor's forecasts."""
+        forecasts = self.predictor.forecast(2)
+        return self.decide(
+            queue_avgs,
+            rate_hat=forecasts[0] / self.params.period,
+            rate_next=forecasts[1] / self.params.period,
+            work=self.work_estimate,
+            gamma_current=gamma_current,
+        )
+
+    def decide(
+        self,
+        queue_avgs: np.ndarray,
+        rate_hat: float,
+        rate_next: float,
+        work: float,
+        gamma_current: np.ndarray | None = None,
+    ) -> L2Decision:
+        """Minimise sum_i J~_i over the quantised gamma simplex.
+
+        Exhaustive enumeration by default (286 vectors for p = 4 at step
+        0.1); bounded neighbourhood search around ``gamma_current`` when
+        ``params.exhaustive`` is off.
+        """
+        p = self.module_count
+        queue_avgs = np.asarray(queue_avgs, dtype=float)
+        if queue_avgs.shape != (p,):
+            raise ConfigurationError(f"queue_avgs must have shape ({p},)")
+        started = time.perf_counter()
+        candidates = np.asarray(self._candidates(gamma_current))
+        current_quantized = (
+            quantize_to_simplex(gamma_current, self.params.gamma_step)
+            if gamma_current is not None
+            else None
+        )
+        n = candidates.shape[0]
+        machine_capacity = np.array(
+            [m.spec.max_service_rate(0.0175) / m.spec.size for m in self.maps]
+        )
+        # Vectorised evaluation: one batched tree query per module for all
+        # candidates at once (both horizon terms).
+        costs = np.zeros(n)
+        explored = 0
+        for i, module_map in enumerate(self.maps):
+            shares_now = candidates[:, i] * rate_hat
+            features_now = np.column_stack(
+                [np.full(n, queue_avgs[i]), shares_now, np.full(n, work)]
+            )
+            costs += module_map.cost_tree.predict(features_now)
+            next_queues = np.clip(
+                module_map.queue_tree.predict(features_now), 0.0, None
+            )
+            features_next = np.column_stack(
+                [next_queues, candidates[:, i] * rate_next, np.full(n, work)]
+            )
+            costs += module_map.cost_tree.predict(features_next)
+            explored += 2 * n
+        if gamma_current is not None:
+            # Charge the boots a gamma increase forces: shifted load
+            # divided by one machine's capacity, per module.
+            shifted = np.clip(candidates - gamma_current, 0.0, None) * rate_hat
+            costs += self.params.reconfiguration_weight * (
+                shifted / machine_capacity
+            ).sum(axis=1)
+
+        best_index = int(np.argmin(costs))
+        best_cost = float(costs[best_index])
+        best_gamma = candidates[best_index]
+        # Among exact ties, prefer the candidate closest to the current
+        # allocation (tree plateaus produce many ties).
+        if gamma_current is not None:
+            tied = np.flatnonzero(np.abs(costs - best_cost) <= 1e-12)
+            if tied.size > 1:
+                distances = np.abs(candidates[tied] - gamma_current).sum(axis=1)
+                best_index = int(tied[np.argmin(distances)])
+                best_gamma = candidates[best_index]
+        current_cost: float | None = None
+        if current_quantized is not None:
+            matches = np.flatnonzero(
+                np.all(np.abs(candidates - current_quantized) < 1e-9, axis=1)
+            )
+            if matches.size:
+                current_cost = float(costs[matches[0]])
+        # Hysteresis: keep the current allocation unless the best
+        # candidate is meaningfully better.
+        if (
+            current_cost is not None
+            and best_cost >= (1.0 - self.params.switching_threshold) * current_cost
+        ):
+            best_gamma = current_quantized
+            best_cost = current_cost
+        decision = L2Decision(
+            gamma=best_gamma,
+            expected_cost=best_cost,
+            states_explored=explored,
+        )
+        self.stats.record(explored, time.perf_counter() - started)
+        return decision
+
+    def _candidates(self, gamma_current: np.ndarray | None) -> list[np.ndarray]:
+        if self.params.exhaustive or gamma_current is None:
+            return list(enumerate_simplex(self.module_count, self.params.gamma_step))
+        seed = quantize_to_simplex(gamma_current, self.params.gamma_step)
+        candidates = [seed]
+        candidates.extend(
+            simplex_neighbors(seed, self.params.gamma_step, moves=2)
+        )
+        # Capacity-proportional fallback keeps the search from stalling in
+        # a poor local minimum.
+        candidates.append(
+            quantize_to_simplex(self.capacities, self.params.gamma_step)
+        )
+        return candidates

@@ -1,0 +1,106 @@
+"""Controller parameter sets with the paper's §4.3 / §5.2 defaults."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import require_non_negative, require_positive
+from repro.core.cost import CostWeights
+
+
+@dataclass(frozen=True)
+class L0Params:
+    """L0 (frequency) controller parameters.
+
+    Defaults: r* = 4 s, N_L0 = 3, T_L0 = 30 s, Q = 100, R = 1.
+    """
+
+    target_response: float = 4.0
+    horizon: int = 3
+    period: float = 30.0
+    weights: CostWeights = field(
+        default_factory=lambda: CostWeights(tracking=100.0, operating=1.0)
+    )
+    #: Optional robustness extension (not in the paper, default off): the
+    #: arrival-rate forecasts are inflated by this fraction before the
+    #: lookahead, trading energy for fewer response-time excursions when
+    #: forecasts are noisy. Swept in the ablation benchmarks.
+    robustness_margin: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.target_response, "target_response")
+        require_positive(self.period, "period")
+        require_non_negative(self.robustness_margin, "robustness_margin")
+        if self.horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")
+
+
+@dataclass(frozen=True)
+class L1Params:
+    """L1 (module) controller parameters.
+
+    Defaults: T_L1 = 2 min (= 4 x T_L0), N_L1 = 1, gamma step 0.05,
+    switching penalty W = 8, three-point uncertainty sampling on.
+    """
+
+    period: float = 120.0
+    horizon: int = 1
+    gamma_step: float = 0.05
+    switching_weight: float = 8.0
+    use_uncertainty_band: bool = True
+    gamma_neighborhood_moves: int = 2
+    #: Hard cap on gamma candidates evaluated per on/off candidate — the
+    #: "limited neighborhood" bound that keeps the L1 overhead flat as
+    #: modules grow (the paper's m = 10 module runs *faster* than m = 4
+    #: thanks to its coarser quantisation; this cap plays the same role).
+    max_gamma_candidates: int = 32
+    alpha_radius: int = 1
+    band_window: int = 20
+
+    def __post_init__(self) -> None:
+        require_positive(self.period, "period")
+        require_positive(self.gamma_step, "gamma_step")
+        require_non_negative(self.switching_weight, "switching_weight")
+        if self.horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")
+        if self.gamma_neighborhood_moves < 0:
+            raise ConfigurationError("gamma_neighborhood_moves must be >= 0")
+        if self.max_gamma_candidates < 1:
+            raise ConfigurationError("max_gamma_candidates must be >= 1")
+        if self.alpha_radius not in (1, 2):
+            raise ConfigurationError("alpha_radius must be 1 or 2")
+
+
+@dataclass(frozen=True)
+class L2Params:
+    """L2 (cluster) controller parameters.
+
+    Defaults: T_L2 = 2 min, N_L2 = 1, gamma step 0.1, exhaustive
+    enumeration of the quantised simplex (286 vectors for four modules).
+    """
+
+    period: float = 120.0
+    horizon: int = 1
+    gamma_step: float = 0.1
+    exhaustive: bool = True
+    #: Relative predicted-cost improvement required before moving away
+    #: from the current allocation. The regression trees are piecewise
+    #: constant, so without hysteresis the argmin hops between
+    #: near-equal-cost gamma vectors every period, whipsawing the modules
+    #: (each hop hits the boot dead time).
+    switching_threshold: float = 0.02
+    #: Cost per machine-equivalent of load shifted onto a module (the L2
+    #: analogue of the L1's ||Delta alpha||_W): the module cost maps are
+    #: trained in steady configuration, so the transient of booting
+    #: machines to absorb a gamma increase must be charged explicitly.
+    #: Default W + a*l = 8 + 0.75*4.
+    reconfiguration_weight: float = 11.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.period, "period")
+        require_positive(self.gamma_step, "gamma_step")
+        require_non_negative(self.switching_threshold, "switching_threshold")
+        require_non_negative(self.reconfiguration_weight, "reconfiguration_weight")
+        if self.horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")

@@ -1,0 +1,52 @@
+"""Controller run-time accounting.
+
+The paper reports control overhead as (a) system states explored per
+sampling period and (b) controller execution time. Every controller
+records both per invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ControllerStats:
+    """Accumulates per-invocation exploration counts and wall times."""
+
+    states_explored: list[int] = field(default_factory=list)
+    wall_seconds: list[float] = field(default_factory=list)
+
+    def record(self, states: int, seconds: float) -> None:
+        """Record one controller invocation."""
+        self.states_explored.append(int(states))
+        self.wall_seconds.append(float(seconds))
+
+    @property
+    def invocations(self) -> int:
+        """Number of recorded invocations."""
+        return len(self.states_explored)
+
+    @property
+    def mean_states(self) -> float:
+        """Average states explored per invocation (the paper's ~858)."""
+        return float(np.mean(self.states_explored)) if self.states_explored else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total controller wall time."""
+        return float(np.sum(self.wall_seconds)) if self.wall_seconds else 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average wall time per invocation."""
+        return float(np.mean(self.wall_seconds)) if self.wall_seconds else 0.0
+
+    def merged_with(self, other: "ControllerStats") -> "ControllerStats":
+        """New stats object combining two streams."""
+        merged = ControllerStats()
+        merged.states_explored = self.states_explored + other.states_explored
+        merged.wall_seconds = self.wall_seconds + other.wall_seconds
+        return merged

@@ -1,0 +1,80 @@
+"""State and input constraints: H(x) <= 0 and u in U(x).
+
+Constraints are predicates over states; a :class:`ConstraintSet` combines
+them. The LLC search discards trajectories whose predicted states violate
+any hard constraint (soft constraints belong in the cost via slack
+variables — see :mod:`repro.core.cost`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+
+@runtime_checkable
+class Constraint(Protocol):
+    """Predicate over predicted states."""
+
+    def satisfied(self, state) -> bool:
+        """Return True when the state is admissible."""
+        ...
+
+
+class BoxConstraint:
+    """Component-wise lower/upper bounds on a state vector."""
+
+    def __init__(self, lower=None, upper=None) -> None:
+        if lower is None and upper is None:
+            raise ConfigurationError("box constraint needs at least one bound")
+        self.lower = None if lower is None else np.atleast_1d(np.asarray(lower, float))
+        self.upper = None if upper is None else np.atleast_1d(np.asarray(upper, float))
+        if (
+            self.lower is not None
+            and self.upper is not None
+            and np.any(self.lower > self.upper)
+        ):
+            raise ConfigurationError("lower bound exceeds upper bound")
+
+    def satisfied(self, state) -> bool:
+        """Check the state lies inside the box."""
+        s = np.atleast_1d(np.asarray(state, dtype=float))
+        if self.lower is not None and np.any(s < self.lower):
+            return False
+        if self.upper is not None and np.any(s > self.upper):
+            return False
+        return True
+
+
+class CallableConstraint:
+    """Wraps an arbitrary predicate, with a name for diagnostics."""
+
+    def __init__(self, predicate: Callable[[object], bool], name: str = "") -> None:
+        self.predicate = predicate
+        self.name = name or getattr(predicate, "__name__", "constraint")
+
+    def satisfied(self, state) -> bool:
+        """Delegate to the wrapped predicate."""
+        return bool(self.predicate(state))
+
+
+class ConstraintSet:
+    """Conjunction of constraints."""
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        self._constraints = list(constraints)
+
+    def add(self, constraint: Constraint) -> None:
+        """Append another constraint."""
+        self._constraints.append(constraint)
+
+    def satisfied(self, state) -> bool:
+        """True when every member constraint admits the state."""
+        return all(c.satisfied(state) for c in self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)

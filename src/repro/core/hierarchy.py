@@ -1,0 +1,59 @@
+"""Multi-rate scheduling of hierarchical controllers.
+
+"Controllers at various levels of the hierarchy can operate at different
+time scales": T_L1 = l * T_L0 with l > 1, and T_L2 >= T_L1. The scheduler
+tracks which controllers are due at each base-period tick, always ordering
+slower (higher-level) controllers before faster ones within a tick so that
+decisions flow down the hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import require_positive
+
+
+@dataclass(frozen=True)
+class _Entry:
+    name: str
+    every: int
+    rank: int  # larger = higher level = earlier in the tick
+
+
+class MultiRateScheduler:
+    """Registry of controllers firing every N base periods."""
+
+    def __init__(self) -> None:
+        self._entries: list[_Entry] = []
+
+    def register(self, name: str, every: int) -> None:
+        """Register a controller firing every ``every`` base periods.
+
+        Controllers with larger periods are treated as higher level and
+        scheduled first within a tick.
+        """
+        every = int(require_positive(every, "every"))
+        if any(e.name == name for e in self._entries):
+            raise ConfigurationError(f"controller {name!r} already registered")
+        self._entries.append(_Entry(name=name, every=every, rank=every))
+
+    def due(self, tick: int) -> list[str]:
+        """Names of controllers due at base-period ``tick`` (0-based).
+
+        Ordered highest level first; within a level, registration order.
+        """
+        if tick < 0:
+            raise ConfigurationError("tick must be >= 0")
+        due = [e for e in self._entries if tick % e.every == 0]
+        return [e.name for e in sorted(due, key=lambda e: -e.rank)]
+
+    @property
+    def base_cycle(self) -> int:
+        """Ticks after which the schedule repeats (LCM of periods)."""
+        from math import lcm
+
+        if not self._entries:
+            return 1
+        return lcm(*(e.every for e in self._entries))

@@ -1,0 +1,129 @@
+"""Generic limited-lookahead control via exhaustive tree search.
+
+"The L0 controller uses an exhaustive search strategy where a tree of all
+possible future states is generated from the current state up to the
+specified depth N. If |U| denotes the size of the control-input set, then
+the number of explored states is sum_{q=1..N} |U|^q."
+
+:class:`LookaheadController` implements exactly that, for *any* model
+expressed as a step function ``(state, control, environment) ->
+(next_state, step_cost)``, with optional hard constraints and optional
+branch-and-bound pruning (sound because step costs are required to be
+non-negative).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError, ControlError
+from repro.core.constraints import ConstraintSet
+
+#: Step function type: (state, control, environment) -> (next_state, cost).
+StepFunction = Callable[[object, object, object], tuple[object, float]]
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """Result of one LLC optimisation."""
+
+    action: object
+    expected_cost: float
+    states_explored: int
+    trajectory: tuple[object, ...]  # the optimal control sequence
+
+
+class LookaheadController:
+    """Exhaustive lookahead over a finite control set.
+
+    Parameters
+    ----------
+    step:
+        The model: maps (state, control, environment) to (next state,
+        non-negative step cost).
+    controls:
+        Either a fixed sequence of control values, or a callable
+        ``controls(state)`` implementing the state-dependent input set
+        U(x).
+    horizon:
+        Prediction depth N >= 1.
+    constraints:
+        Hard constraints on predicted states; violating branches are cut.
+    prune:
+        Enable branch-and-bound pruning (keeps the result identical while
+        skipping provably-suboptimal branches).
+    """
+
+    def __init__(
+        self,
+        step: StepFunction,
+        controls: "Sequence[object] | Callable[[object], Sequence[object]]",
+        horizon: int,
+        constraints: ConstraintSet | None = None,
+        prune: bool = True,
+    ) -> None:
+        if horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")
+        self._step = step
+        self._controls = controls
+        self.horizon = int(horizon)
+        self.constraints = constraints or ConstraintSet()
+        self.prune = prune
+
+    def _controls_for(self, state) -> Sequence[object]:
+        if callable(self._controls):
+            return self._controls(state)
+        return self._controls
+
+    def decide(self, state, environments: Sequence[object]) -> ControlDecision:
+        """Choose the first action of the minimum-cost feasible trajectory.
+
+        ``environments`` supplies the forecast environment input for each
+        horizon step (length >= horizon).
+        """
+        if len(environments) < self.horizon:
+            raise ConfigurationError(
+                f"need {self.horizon} environment forecasts, got {len(environments)}"
+            )
+        best_cost = float("inf")
+        best_sequence: tuple[object, ...] | None = None
+        explored = 0
+
+        stack: list[tuple[object, float, tuple[object, ...]]] = [(state, 0.0, ())]
+        while stack:
+            current_state, cost_so_far, sequence = stack.pop()
+            depth = len(sequence)
+            if depth == self.horizon:
+                if cost_so_far < best_cost:
+                    best_cost = cost_so_far
+                    best_sequence = sequence
+                continue
+            if self.prune and cost_so_far >= best_cost:
+                continue
+            environment = environments[depth]
+            for control in self._controls_for(current_state):
+                next_state, step_cost = self._step(
+                    current_state, control, environment
+                )
+                explored += 1
+                if step_cost < 0:
+                    raise ControlError(
+                        "step costs must be non-negative for LLC pruning"
+                    )
+                if not self.constraints.satisfied(next_state):
+                    continue
+                stack.append(
+                    (next_state, cost_so_far + step_cost, sequence + (control,))
+                )
+        if best_sequence is None:
+            raise ControlError(
+                "no feasible trajectory within the horizon; "
+                "constraints admit no control sequence"
+            )
+        return ControlDecision(
+            action=best_sequence[0],
+            expected_cost=best_cost,
+            states_explored=explored,
+            trajectory=best_sequence,
+        )

@@ -1,0 +1,177 @@
+"""A general linear-Gaussian Kalman filter.
+
+State-space form (Harvey 2001, the reference the paper cites):
+
+    x(k+1) = F x(k) + w(k),   w ~ N(0, Q)
+    z(k)   = H x(k) + v(k),   v ~ N(0, R)
+
+The filter supports the standard predict/update cycle, multi-step ahead
+forecasting (used by the limited-lookahead controllers to fill their
+prediction horizon), and innovation bookkeeping for uncertainty bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass
+class StateSpaceModel:
+    """Matrices of a time-invariant linear-Gaussian state-space model."""
+
+    transition: np.ndarray  # F, (n, n)
+    observation: np.ndarray  # H, (m, n)
+    process_cov: np.ndarray  # Q, (n, n)
+    observation_cov: np.ndarray  # R, (m, m)
+
+    def __post_init__(self) -> None:
+        self.transition = np.atleast_2d(np.asarray(self.transition, dtype=float))
+        self.observation = np.atleast_2d(np.asarray(self.observation, dtype=float))
+        self.process_cov = np.atleast_2d(np.asarray(self.process_cov, dtype=float))
+        self.observation_cov = np.atleast_2d(
+            np.asarray(self.observation_cov, dtype=float)
+        )
+        n = self.transition.shape[0]
+        if self.transition.shape != (n, n):
+            raise ConfigurationError("transition matrix must be square")
+        if self.observation.shape[1] != n:
+            raise ConfigurationError(
+                "observation matrix column count must match state dimension"
+            )
+        if self.process_cov.shape != (n, n):
+            raise ConfigurationError("process covariance must be (n, n)")
+        m = self.observation.shape[0]
+        if self.observation_cov.shape != (m, m):
+            raise ConfigurationError("observation covariance must be (m, m)")
+
+    @property
+    def state_dim(self) -> int:
+        """Dimension of the latent state vector."""
+        return self.transition.shape[0]
+
+    @property
+    def obs_dim(self) -> int:
+        """Dimension of the observation vector."""
+        return self.observation.shape[0]
+
+
+@dataclass
+class KalmanStep:
+    """Diagnostics recorded for one filter update."""
+
+    prediction: float
+    innovation: float
+    innovation_var: float
+
+
+class KalmanFilter:
+    """Linear-Gaussian Kalman filter with multi-step forecasting.
+
+    Parameters
+    ----------
+    model:
+        The state-space matrices.
+    initial_state:
+        Prior mean for the state (defaults to zeros).
+    initial_cov:
+        Prior covariance (defaults to a large diagonal — a diffuse prior).
+    """
+
+    def __init__(
+        self,
+        model: StateSpaceModel,
+        initial_state: np.ndarray | None = None,
+        initial_cov: np.ndarray | None = None,
+    ) -> None:
+        self.model = model
+        n = model.state_dim
+        self.state = (
+            np.zeros(n) if initial_state is None else np.asarray(initial_state, float)
+        )
+        if self.state.shape != (n,):
+            raise ConfigurationError(f"initial_state must have shape ({n},)")
+        self.cov = (
+            np.eye(n) * 1e6 if initial_cov is None else np.asarray(initial_cov, float)
+        )
+        if self.cov.shape != (n, n):
+            raise ConfigurationError(f"initial_cov must have shape ({n}, {n})")
+        self.history: list[KalmanStep] = []
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+    def predict(self) -> tuple[np.ndarray, np.ndarray]:
+        """Time update: propagate (state, cov) one step; returns the pair."""
+        f = self.model.transition
+        self.state = f @ self.state
+        self.cov = f @ self.cov @ f.T + self.model.process_cov
+        self.cov = _symmetrize(self.cov)
+        return self.state.copy(), self.cov.copy()
+
+    def update(self, observation: float | np.ndarray) -> KalmanStep:
+        """Measurement update with a new observation; returns diagnostics."""
+        h = self.model.observation
+        z = np.atleast_1d(np.asarray(observation, dtype=float))
+        predicted = h @ self.state
+        innovation = z - predicted
+        s = h @ self.cov @ h.T + self.model.observation_cov
+        gain = self.cov @ h.T @ np.linalg.inv(s)
+        self.state = self.state + gain @ innovation
+        identity = np.eye(self.model.state_dim)
+        # Joseph form keeps the covariance symmetric positive semidefinite.
+        factor = identity - gain @ h
+        self.cov = (
+            factor @ self.cov @ factor.T
+            + gain @ self.model.observation_cov @ gain.T
+        )
+        self.cov = _symmetrize(self.cov)
+        step = KalmanStep(
+            prediction=float(predicted[0]),
+            innovation=float(innovation[0]),
+            innovation_var=float(s[0, 0]),
+        )
+        self.history.append(step)
+        return step
+
+    def step(self, observation: float | np.ndarray) -> KalmanStep:
+        """One predict-then-update cycle (the usual online loop body)."""
+        self.predict()
+        return self.update(observation)
+
+    # ------------------------------------------------------------------
+    # Forecasting
+    # ------------------------------------------------------------------
+    def forecast(self, steps: int) -> np.ndarray:
+        """Mean observation forecasts for 1..steps ahead (no side effects)."""
+        if steps <= 0:
+            return np.zeros(0)
+        f, h = self.model.transition, self.model.observation
+        state = self.state.copy()
+        out = np.empty(steps)
+        for i in range(steps):
+            state = f @ state
+            out[i] = float((h @ state)[0])
+        return out
+
+    def forecast_with_variance(self, steps: int) -> tuple[np.ndarray, np.ndarray]:
+        """Forecast means and observation variances for 1..steps ahead."""
+        f, h = self.model.transition, self.model.observation
+        q, r = self.model.process_cov, self.model.observation_cov
+        state, cov = self.state.copy(), self.cov.copy()
+        means = np.empty(steps)
+        variances = np.empty(steps)
+        for i in range(steps):
+            state = f @ state
+            cov = _symmetrize(f @ cov @ f.T + q)
+            means[i] = float((h @ state)[0])
+            variances[i] = float((h @ cov @ h.T + r)[0, 0])
+        return means, variances
+
+
+def _symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Re-symmetrise a covariance to kill numerical drift."""
+    return (matrix + matrix.T) / 2.0

@@ -1,0 +1,124 @@
+"""The paper's fluid (difference-equation) queue model — eqs. (5)-(7).
+
+For a processor running at frequency u with scaling factor
+``phi = u / u_max``, request processing time ``c`` (measured at full
+speed), arrival rate ``lambda_`` and sampling period ``T``:
+
+    q(k+1)   = max(0, q(k) + (lambda - phi / c) * T)          (5)
+    r(k+1)   = (1 + q(k+1)) * c / phi                          (6)
+    psi(k+1) = a + phi**2                                      (7)
+
+This module provides a stateless vectorised step (used by the simulation
+engine and by the L0 controller's lookahead tree) plus
+:class:`FluidServerModel`, which bundles the per-computer constants.
+
+Heterogeneity generalisation: a computer may additionally have a *speed
+factor* ``s`` (its full-speed throughput relative to the reference machine)
+and a *dynamic power scale* ``p``; the paper's model is the special case
+``s = p = 1``. The effective service rate is then ``s * phi / c`` and the
+power draw ``a + p * phi**2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.validation import require_non_negative, require_positive
+
+
+def fluid_step(
+    queue: float | np.ndarray,
+    arrivals: float | np.ndarray,
+    capacity: float | np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Advance queue length(s) one period.
+
+    Parameters
+    ----------
+    queue:
+        Queue length(s) at the start of the period (requests).
+    arrivals:
+        Requests arriving during the period.
+    capacity:
+        Requests the server can complete during the period.
+
+    Returns
+    -------
+    (next_queue, served):
+        Both clipped to physical ranges (no negative queues; served never
+        exceeds offered work).
+    """
+    queue = np.asarray(queue, dtype=float)
+    arrivals = np.asarray(arrivals, dtype=float)
+    capacity = np.asarray(capacity, dtype=float)
+    offered = queue + arrivals
+    next_queue = np.clip(offered - capacity, 0.0, None)
+    served = offered - next_queue
+    return next_queue, served
+
+
+@dataclass(frozen=True)
+class FluidServerModel:
+    """Per-computer constants for the paper's difference model.
+
+    Parameters
+    ----------
+    base_power:
+        The fixed cost ``a`` of keeping the computer on (eq. 7).
+    speed_factor:
+        Relative full-speed throughput ``s`` (paper: 1.0).
+    power_scale:
+        Relative dynamic power ``p`` (paper: 1.0).
+    """
+
+    base_power: float = 0.75
+    speed_factor: float = 1.0
+    power_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.base_power, "base_power")
+        require_positive(self.speed_factor, "speed_factor")
+        require_positive(self.power_scale, "power_scale")
+
+    def service_rate(self, phi: float | np.ndarray, c: float) -> np.ndarray:
+        """Requests per second completed at scaling factor ``phi``."""
+        require_positive(c, "c")
+        return np.asarray(phi, dtype=float) * self.speed_factor / c
+
+    def predict(
+        self,
+        queue: float,
+        arrival_rate: float,
+        c: float,
+        phi: float | np.ndarray,
+        period: float,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Evaluate eqs. (5)-(7) for one period, vectorised over ``phi``.
+
+        Returns ``(next_queue, response_time, power)`` arrays shaped like
+        ``phi``.
+        """
+        require_positive(period, "period")
+        phi_arr = np.asarray(phi, dtype=float)
+        rate = self.service_rate(phi_arr, c)
+        next_queue, _ = fluid_step(
+            queue, arrival_rate * period, rate * period
+        )
+        response = self.response_time(next_queue, c, phi_arr)
+        power = self.power(phi_arr)
+        return next_queue, response, power
+
+    def response_time(
+        self, queue: float | np.ndarray, c: float, phi: float | np.ndarray
+    ) -> np.ndarray:
+        """Eq. (6): response time seen by a request arriving at queue ``q``."""
+        phi_arr = np.asarray(phi, dtype=float)
+        effective_service = c / (np.maximum(phi_arr, 1e-12) * self.speed_factor)
+        return (1.0 + np.asarray(queue, dtype=float)) * effective_service
+
+    def power(self, phi: float | np.ndarray) -> np.ndarray:
+        """Eq. (7): average power draw at scaling factor ``phi``."""
+        phi_arr = np.asarray(phi, dtype=float)
+        return self.base_power + self.power_scale * phi_arr**2

@@ -1,0 +1,27 @@
+"""Analytic M/M/1 formulas, used as statistical oracles in tests."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+
+
+def _check_stable(arrival_rate: float, service_rate: float) -> None:
+    if arrival_rate < 0 or service_rate <= 0:
+        raise ConfigurationError("rates must be non-negative / positive")
+    if arrival_rate >= service_rate:
+        raise ConfigurationError(
+            f"unstable queue: lambda={arrival_rate} >= mu={service_rate}"
+        )
+
+
+def mm1_mean_response_time(arrival_rate: float, service_rate: float) -> float:
+    """Mean sojourn time W = 1 / (mu - lambda)."""
+    _check_stable(arrival_rate, service_rate)
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mm1_mean_queue_length(arrival_rate: float, service_rate: float) -> float:
+    """Mean number in system L = rho / (1 - rho)."""
+    _check_stable(arrival_rate, service_rate)
+    rho = arrival_rate / service_rate
+    return rho / (1.0 - rho)

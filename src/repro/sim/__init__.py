@@ -1,0 +1,35 @@
+"""Simulation harness: multi-rate co-simulation of plant and hierarchy.
+
+:class:`~repro.sim.engine.ModuleSimulation` drives one module (Fig. 2b):
+the fluid plant advances in T_L0 periods, the L0 controllers pick
+frequencies every period, and the L1 controller (or a heuristic baseline)
+re-decides alpha/gamma every T_L1. :class:`~repro.sim.engine.ClusterSimulation`
+composes several modules under an L2 controller (Fig. 2a).
+
+:mod:`~repro.sim.experiments` packages the paper's §4.3 and §5.2
+experiment configurations; results come back as structured time series
+(:mod:`~repro.sim.results`) that the benchmark harness renders.
+"""
+
+from repro.sim.des import DiscreteEventModuleSimulation, DiscreteEventRunResult
+from repro.sim.engine import ClusterSimulation, ModuleSimulation, SimulationOptions
+from repro.sim.experiments import (
+    cluster_experiment,
+    module_experiment,
+    overhead_experiment,
+)
+from repro.sim.results import ClusterRunResult, ModuleRunResult, RunSummary
+
+__all__ = [
+    "ClusterRunResult",
+    "ClusterSimulation",
+    "DiscreteEventModuleSimulation",
+    "DiscreteEventRunResult",
+    "ModuleRunResult",
+    "ModuleSimulation",
+    "RunSummary",
+    "SimulationOptions",
+    "cluster_experiment",
+    "module_experiment",
+    "overhead_experiment",
+]

@@ -1,0 +1,503 @@
+"""Multi-rate co-simulation of the plant and the controller hierarchy.
+
+The engine advances the fluid plant in T_L0 periods. Within each period:
+
+1. at T_L1 boundaries the module controller (L1 or a baseline) observes
+   the last interval's arrivals and processing times, decides alpha and
+   gamma, and reconfigures the plant;
+2. each computer's L0 controller picks a DVFS setting (hierarchy mode
+   only — baselines pin frequencies themselves);
+3. the dispatcher splits the period's arrivals by gamma and every
+   computer advances one fluid step.
+
+:class:`ClusterSimulation` stacks an L2 controller on top: at T_L2
+boundaries it observes aggregate module states and global arrivals and
+re-divides the workload across modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.cluster.module import Module
+from repro.cluster.specs import ClusterSpec, ModuleSpec
+from repro.controllers.baselines import _BaselineBase
+from repro.controllers.l0 import L0Controller
+from repro.controllers.l1 import ComputerBehaviorMap, L1Controller
+from repro.controllers.l2 import L2Controller, ModuleCostMap
+from repro.controllers.params import L0Params, L1Params, L2Params
+from repro.controllers.stats import ControllerStats
+from repro.forecast.structural import WorkloadPredictor
+from repro.sim.results import ClusterRunResult, ModuleRunResult
+from repro.workload.trace import ArrivalTrace
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Knobs shared by module and cluster simulations.
+
+    ``warmup_intervals`` is the initial portion of the workload (in L1
+    periods) used to tune the Kalman filters before the run, mirroring
+    §4.3.
+    """
+
+    warmup_intervals: int = 48
+    mean_work: float = 0.0175
+    seed: int = 0
+
+
+class ModuleSimulation:
+    """One module under the LLC hierarchy or a baseline policy."""
+
+    def __init__(
+        self,
+        spec: ModuleSpec,
+        trace: ArrivalTrace,
+        l0_params: L0Params | None = None,
+        l1_params: L1Params | None = None,
+        baseline: _BaselineBase | None = None,
+        behavior_maps: "list[ComputerBehaviorMap] | None" = None,
+        work_series: np.ndarray | None = None,
+        options: SimulationOptions | None = None,
+        failure_events: "tuple[tuple[float, int, str], ...]" = (),
+    ) -> None:
+        self.spec = spec
+        self.l0_params = l0_params or L0Params()
+        self.l1_params = l1_params or L1Params()
+        self.options = options or SimulationOptions()
+        self.trace = trace.rebinned(self.l0_params.period)
+        self.substeps = round(self.l1_params.period / self.l0_params.period)
+        if self.substeps < 1:
+            raise ConfigurationError("T_L1 must cover at least one T_L0")
+        for event in failure_events:
+            if len(event) != 3 or event[2] not in ("fail", "repair"):
+                raise ConfigurationError(
+                    "failure events are (time_seconds, computer_index, "
+                    "'fail'|'repair') tuples"
+                )
+            if baseline is not None:
+                raise ConfigurationError(
+                    "failure injection is supported in hierarchy mode only"
+                )
+        self.failure_events = tuple(
+            sorted(failure_events, key=lambda e: e[0])
+        )
+        self.baseline = baseline
+        if baseline is None:
+            self.l1: L1Controller | None = L1Controller(
+                spec, behavior_maps, self.l1_params, self.l0_params
+            )
+            self.l0s = [L0Controller(c, self.l0_params) for c in spec.computers]
+        else:
+            self.l1 = None
+            self.l0s = []
+        if work_series is None:
+            work_series = np.full(len(self.trace), self.options.mean_work)
+        if work_series.size != len(self.trace):
+            raise ConfigurationError("work_series must align with the trace bins")
+        self.work_series = work_series
+
+    @property
+    def module_controller(self):
+        """The active module-level controller (L1 or baseline)."""
+        return self.baseline if self.baseline is not None else self.l1
+
+    def run(self) -> ModuleRunResult:
+        """Simulate the full trace; returns structured time series."""
+        trace = self.trace
+        m = self.spec.size
+        steps = len(trace)
+        plant = Module(self.spec, initially_on=True)
+        controller = self.module_controller
+        # Module-level arrival predictor at T_L0 granularity: the paper's
+        # "lambda_hat = gamma * lambda_hat_i" — each L0 controller's
+        # forecast is its gamma share of the module-level estimate, so a
+        # gamma change propagates to the L0 horizon instantly.
+        fine_predictor = WorkloadPredictor()
+
+        self._tune_predictor(controller, fine_predictor)
+
+        alpha = np.ones(m, dtype=bool)
+        gamma = np.full(m, 1.0 / m)
+        frequencies = np.zeros((steps, m))
+        responses = np.full((steps, m), np.nan)
+        queues = np.zeros((steps, m))
+        power = np.zeros(steps)
+        l1_steps = int(np.ceil(steps / self.substeps))
+        l1_arrivals = np.zeros(l1_steps)
+        l1_predictions = np.zeros(l1_steps)
+        computers_on = np.zeros(l1_steps)
+        interval_arrivals = 0.0
+
+        pending_events = list(self.failure_events)
+        for k in range(steps):
+            work = float(self.work_series[k])
+            now = k * self.l0_params.period
+            while pending_events and pending_events[0][0] <= now:
+                _, index_failed, kind = pending_events.pop(0)
+                if kind == "fail":
+                    plant.fail_computer(index_failed)
+                    alpha[index_failed] = False
+                    if gamma[index_failed] > 0:
+                        gamma = gamma.copy()
+                        gamma[index_failed] = 0.0
+                        total = gamma.sum()
+                        if total > 0:
+                            gamma = gamma / total
+                        else:
+                            # The only serving machine failed: emergency
+                            # power-on of the fastest survivor; arrivals
+                            # queue behind its boot.
+                            survivor = int(
+                                np.argmax(
+                                    np.where(
+                                        plant.available_mask,
+                                        [c.model.speed_factor for c in plant.computers],
+                                        -1.0,
+                                    )
+                                )
+                            )
+                            plant.computers[survivor].power_on()
+                            alpha[survivor] = True
+                            gamma = np.zeros_like(gamma)
+                            gamma[survivor] = 1.0
+                else:
+                    plant.repair_computer(index_failed)
+            if k % self.substeps == 0:
+                index = k // self.substeps
+                if k > 0:
+                    controller.observe(interval_arrivals, work)
+                l1_predictions[index] = float(controller.predictor.forecast(1)[0])
+                interval_arrivals = 0.0
+                if self.baseline is None:
+                    decision = controller.act(
+                        plant.queue_lengths, alpha, available=plant.available_mask
+                    )
+                else:
+                    decision = controller.act(plant.queue_lengths, alpha)
+                alpha = decision.alpha.astype(bool)
+                gamma = decision.gamma
+                plant.apply_configuration(alpha)
+                if self.baseline is not None:
+                    for computer, freq in zip(
+                        plant.computers, decision.frequency_indices
+                    ):
+                        computer.set_frequency_index(int(freq))
+                computers_on[index] = alpha.sum()
+
+            arrivals = float(trace.counts[k])
+            interval_arrivals += arrivals
+            l1_arrivals[k // self.substeps] += arrivals
+
+            if self.baseline is None:
+                module_forecast = (
+                    fine_predictor.forecast(self.l0_params.horizon)
+                    / self.l0_params.period
+                )
+                for j, (computer, l0) in enumerate(zip(plant.computers, self.l0s)):
+                    if computer.is_serving:
+                        freq = l0.decide(
+                            computer.queue_length,
+                            gamma[j] * module_forecast,
+                            l0.work_estimate,
+                        )
+                        computer.set_frequency_index(freq.frequency_index)
+                    frequencies[k, j] = computer.frequency_ghz
+            else:
+                frequencies[k] = [c.frequency_ghz for c in plant.computers]
+
+            results = plant.step_fluid(arrivals, work, self.l0_params.period, gamma)
+            fine_predictor.observe(arrivals)
+            for j, result in enumerate(results):
+                responses[k, j] = result.response_time
+                queues[k, j] = result.queue
+                if self.baseline is None:
+                    self.l0s[j].work_filter.observe(work)
+            power[k] = plant.total_power(results)
+
+        on_count, off_count = plant.switch_counts()
+        l0_stats = ControllerStats()
+        for l0 in self.l0s:
+            l0_stats = l0_stats.merged_with(l0.stats)
+        return ModuleRunResult(
+            l0_period=self.l0_params.period,
+            l1_period=self.l1_params.period,
+            computer_names=[c.name for c in self.spec.computers],
+            arrivals=trace.counts.copy(),
+            frequencies=frequencies,
+            responses=responses,
+            queues=queues,
+            power=power,
+            l1_arrivals=l1_arrivals,
+            l1_predictions=l1_predictions,
+            computers_on=computers_on,
+            target_response=self.l0_params.target_response,
+            energy_base=sum(c.energy.base_energy for c in plant.computers),
+            energy_dynamic=sum(c.energy.dynamic_energy for c in plant.computers),
+            energy_transient=sum(c.energy.transient_energy for c in plant.computers),
+            switch_ons=on_count,
+            switch_offs=off_count,
+            l0_stats=l0_stats,
+            l1_stats=controller.stats,
+        )
+
+    def _tune_predictor(self, controller, fine_predictor=None) -> None:
+        """Tune the Kalman filters on the initial workload portion (§4.3)."""
+        warmup = self.options.warmup_intervals
+        if warmup <= 0:
+            return
+        l1_counts = (
+            self.trace.rebinned(self.l1_params.period).counts[:warmup]
+        )
+        controller.predictor.tune_on(l1_counts)
+        controller.work_filter.observe(self.options.mean_work)
+        if fine_predictor is not None:
+            fine_predictor.tune_on(self.trace.counts[: warmup * self.substeps])
+
+
+class ClusterSimulation:
+    """A cluster of modules under the full L2/L1/L0 hierarchy."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        trace: ArrivalTrace,
+        l0_params: L0Params | None = None,
+        l1_params: L1Params | None = None,
+        l2_params: L2Params | None = None,
+        module_maps: "list[ModuleCostMap] | None" = None,
+        options: SimulationOptions | None = None,
+    ) -> None:
+        self.spec = spec
+        self.l0_params = l0_params or L0Params()
+        self.l1_params = l1_params or L1Params()
+        self.l2_params = l2_params or L2Params()
+        self.options = options or SimulationOptions()
+        self.trace = trace.rebinned(self.l0_params.period)
+        self.substeps = round(self.l2_params.period / self.l0_params.period)
+        if abs(self.l2_params.period - self.l1_params.period) > 1e-9:
+            raise ConfigurationError(
+                "this engine runs L2 and L1 on the same period (as the paper does)"
+            )
+        # Train (or accept) the per-module approximation architectures.
+        self._behavior_maps: list[list[ComputerBehaviorMap]] = []
+        self.module_maps: list[ModuleCostMap] = []
+        behavior_cache: dict[tuple, ComputerBehaviorMap] = {}
+        map_cache: dict[tuple, ModuleCostMap] = {}
+        for module_spec in spec.modules:
+            maps = []
+            for computer in module_spec.computers:
+                key = (
+                    computer.processor.frequencies_ghz,
+                    computer.base_power,
+                    computer.power_scale,
+                    computer.effective_speed_factor,
+                )
+                if key not in behavior_cache:
+                    behavior_cache[key] = ComputerBehaviorMap.train(
+                        computer, self.l0_params, l1_period=self.l1_params.period
+                    )
+                maps.append(behavior_cache[key])
+            self._behavior_maps.append(maps)
+        if module_maps is None:
+            for module_spec, maps in zip(spec.modules, self._behavior_maps):
+                key = tuple(
+                    (c.processor.frequencies_ghz, c.effective_speed_factor)
+                    for c in module_spec.computers
+                )
+                if key not in map_cache:
+                    map_cache[key] = ModuleCostMap.train(
+                        module_spec, maps, self.l1_params, self.l0_params
+                    )
+                self.module_maps.append(map_cache[key])
+        else:
+            if len(module_maps) != spec.module_count:
+                raise ConfigurationError("need one module map per module")
+            self.module_maps = list(module_maps)
+        self.l2 = L2Controller(self.module_maps, self.l2_params)
+
+    def run(self) -> ClusterRunResult:
+        """Simulate the full trace under the three-level hierarchy."""
+        p = self.spec.module_count
+        simulations = [
+            ModuleSimulation(
+                module_spec,
+                self.trace,  # placeholder bins; arrivals fed explicitly below
+                self.l0_params,
+                self.l1_params,
+                behavior_maps=maps,
+                options=self.options,
+            )
+            for module_spec, maps in zip(self.spec.modules, self._behavior_maps)
+        ]
+        plants = [Module(s, initially_on=True) for s in self.spec.modules]
+        l1s = [sim.l1 for sim in simulations]
+        l0_banks = [sim.l0s for sim in simulations]
+
+        steps = len(self.trace)
+        periods = int(np.ceil(steps / self.substeps))
+        work = self.options.mean_work
+        # Global arrival predictor at T_L0 granularity; each L0's forecast
+        # is gamma_i * gamma_ij times this estimate.
+        fine_predictor = WorkloadPredictor()
+
+        self._tune_predictors(l1s, fine_predictor)
+
+        alphas = [np.ones(s.size, dtype=bool) for s in self.spec.modules]
+        gammas_module = [np.full(s.size, 1.0 / s.size) for s in self.spec.modules]
+        gamma_modules = np.full(p, 1.0 / p)
+
+        global_arrivals = np.zeros(periods)
+        global_predictions = np.zeros(periods)
+        gamma_history = np.zeros((periods, p))
+        total_on = np.zeros(periods)
+        per_module_on = np.zeros((periods, p))
+        frequencies = [np.zeros((steps, s.size)) for s in self.spec.modules]
+        responses = [np.full((steps, s.size), np.nan) for s in self.spec.modules]
+        queue_series = [np.zeros((steps, s.size)) for s in self.spec.modules]
+        power_series = [np.zeros(steps) for _ in self.spec.modules]
+        module_arrival_series = [np.zeros(steps) for _ in self.spec.modules]
+        l1_arr = np.zeros((periods, p))
+        l1_pred = np.zeros((periods, p))
+        interval_global = 0.0
+        interval_module = np.zeros(p)
+
+        for k in range(steps):
+            if k % self.substeps == 0:
+                index = k // self.substeps
+                if k > 0:
+                    self.l2.observe(interval_global, work)
+                    for i in range(p):
+                        l1s[i].observe(interval_module[i], work)
+                global_predictions[index] = float(self.l2.predictor.forecast(1)[0])
+                interval_global = 0.0
+                interval_module[:] = 0.0
+                queue_avgs = np.array(
+                    [plant.queue_lengths.mean() for plant in plants]
+                )
+                l2_decision = self.l2.act(queue_avgs, gamma_modules)
+                gamma_modules = l2_decision.gamma
+                gamma_history[index] = gamma_modules
+                # Each module's load estimate is its share of the global
+                # forecast (the paper's lambda_hat_i = gamma_i *
+                # lambda_hat_g), so gamma reassignments do not read as
+                # workload swings to the L1 Kalman filters.
+                global_counts = self.l2.predictor.forecast(2)
+                global_delta = self.l2.predictor.band.delta
+                for i in range(p):
+                    rate_hat = gamma_modules[i] * global_counts[0] / self.l2_params.period
+                    rate_next = gamma_modules[i] * global_counts[1] / self.l2_params.period
+                    delta = (
+                        gamma_modules[i] * global_delta / self.l2_params.period
+                        if self.l1_params.use_uncertainty_band
+                        else 0.0
+                    )
+                    l1_pred[index, i] = gamma_modules[i] * global_counts[0]
+                    decision = l1s[i].decide(
+                        plants[i].queue_lengths,
+                        alphas[i],
+                        rate_hat=rate_hat,
+                        rate_next=rate_next,
+                        delta=delta,
+                        work=l1s[i].work_estimate,
+                    )
+                    alphas[i] = decision.alpha.astype(bool)
+                    gammas_module[i] = decision.gamma
+                    plants[i].apply_configuration(alphas[i])
+                    per_module_on[index, i] = alphas[i].sum()
+                total_on[index] = per_module_on[index].sum()
+
+            arrivals = float(self.trace.counts[k])
+            interval_global += arrivals
+            global_arrivals[k // self.substeps] += arrivals
+            shares = gamma_modules * arrivals
+            global_forecast = (
+                fine_predictor.forecast(self.l0_params.horizon)
+                / self.l0_params.period
+            )
+            for i in range(p):
+                interval_module[i] += shares[i]
+                l1_arr[k // self.substeps, i] += shares[i]
+                module_arrival_series[i][k] = shares[i]
+                for j, (computer, l0) in enumerate(zip(plants[i].computers, l0_banks[i])):
+                    if computer.is_serving:
+                        local_forecast = (
+                            gamma_modules[i] * gammas_module[i][j] * global_forecast
+                        )
+                        freq = l0.decide(
+                            computer.queue_length, local_forecast, l0.work_estimate
+                        )
+                        computer.set_frequency_index(freq.frequency_index)
+                    frequencies[i][k, j] = computer.frequency_ghz
+                results = plants[i].step_fluid(
+                    shares[i], work, self.l0_params.period, gammas_module[i]
+                )
+                for j, result in enumerate(results):
+                    responses[i][k, j] = result.response_time
+                    queue_series[i][k, j] = result.queue
+                    l0_banks[i][j].work_filter.observe(work)
+                power_series[i][k] = plants[i].total_power(results)
+            fine_predictor.observe(arrivals)
+
+        module_results = []
+        for i, plant in enumerate(plants):
+            on_count, off_count = plant.switch_counts()
+            l0_stats = ControllerStats()
+            for l0 in l0_banks[i]:
+                l0_stats = l0_stats.merged_with(l0.stats)
+            module_results.append(
+                ModuleRunResult(
+                    l0_period=self.l0_params.period,
+                    l1_period=self.l1_params.period,
+                    computer_names=[c.name for c in self.spec.modules[i].computers],
+                    arrivals=module_arrival_series[i],
+                    frequencies=frequencies[i],
+                    responses=responses[i],
+                    queues=queue_series[i],
+                    power=power_series[i],
+                    l1_arrivals=l1_arr[:, i],
+                    l1_predictions=l1_pred[:, i],
+                    computers_on=per_module_on[:, i],
+                    target_response=self.l0_params.target_response,
+                    energy_base=sum(c.energy.base_energy for c in plant.computers),
+                    energy_dynamic=sum(
+                        c.energy.dynamic_energy for c in plant.computers
+                    ),
+                    energy_transient=sum(
+                        c.energy.transient_energy for c in plant.computers
+                    ),
+                    switch_ons=on_count,
+                    switch_offs=off_count,
+                    l0_stats=l0_stats,
+                    l1_stats=l1s[i].stats,
+                )
+            )
+        return ClusterRunResult(
+            l2_period=self.l2_params.period,
+            module_names=[m.name for m in self.spec.modules],
+            global_arrivals=global_arrivals,
+            global_predictions=global_predictions,
+            gamma_history=gamma_history,
+            total_computers_on=total_on,
+            per_module_on=per_module_on,
+            target_response=self.l0_params.target_response,
+            module_results=module_results,
+            l2_stats=self.l2.stats,
+        )
+
+    def _tune_predictors(self, l1s: list[L1Controller], fine_predictor) -> None:
+        """Tune L2 and L1 Kalman filters on the initial workload portion."""
+        warmup = self.options.warmup_intervals
+        if warmup <= 0:
+            return
+        l2_counts = self.trace.rebinned(self.l2_params.period).counts[:warmup]
+        self.l2.predictor.tune_on(l2_counts)
+        self.l2.work_filter.observe(self.options.mean_work)
+        p = self.spec.module_count
+        for l1 in l1s:
+            l1.predictor.tune_on(l2_counts / p)
+            l1.work_filter.observe(self.options.mean_work)
+        fine_predictor.tune_on(self.trace.counts[: warmup * self.substeps])

@@ -1,0 +1,159 @@
+"""Pre-packaged experiment configurations from the paper's evaluation.
+
+* :func:`module_experiment` — §4.3: the heterogeneous module of four under
+  the synthetic day-scale workload (Figs. 4 and 5), with the m = 6 and
+  m = 10 variants used for the overhead study.
+* :func:`cluster_experiment` — §5.2: sixteen computers in four modules
+  under the WC'98 workload (Figs. 6 and 7), with the twenty-computer
+  five-module variant.
+* :func:`overhead_experiment` — the §4.3 control-overhead measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.specs import (
+    paper_cluster_spec,
+    paper_module_spec,
+    scaled_module_spec,
+)
+from repro.controllers.baselines import _BaselineBase
+from repro.controllers.params import L0Params, L1Params, L2Params
+from repro.sim.engine import ClusterSimulation, ModuleSimulation, SimulationOptions
+from repro.sim.results import ClusterRunResult, ModuleRunResult
+from repro.workload.synthetic import SyntheticWorkloadSpec, synthetic_trace
+from repro.workload.wc98 import WC98Spec, wc98_trace
+
+#: Aggregate full-speed capacity of the module of four at c = 17.5 ms.
+MODULE_OF_FOUR_CAPACITY = paper_module_spec().max_service_rate(0.0175)
+
+
+def module_workload(
+    m: int = 4, l1_samples: int = 1600, seed: int = 0
+) -> "np.ndarray":
+    """The §4.3 synthetic trace, scaled to a module of ``m`` computers.
+
+    The paper scales the original workload "appropriately" when moving to
+    m = 6 and m = 10; we scale peak load to ~70 % of the module's
+    full-speed capacity, preserving shape and noise segments.
+    """
+    spec = SyntheticWorkloadSpec(l1_samples=l1_samples)
+    trace = synthetic_trace(spec, seed=seed)
+    if m != 4:
+        capacity_ratio = (
+            scaled_module_spec(m).max_service_rate(0.0175) / MODULE_OF_FOUR_CAPACITY
+        )
+        trace = trace.scaled(capacity_ratio)
+    return trace
+
+
+def module_experiment(
+    m: int = 4,
+    l1_samples: int = 1600,
+    seed: int = 0,
+    baseline: _BaselineBase | None = None,
+    l0_params: L0Params | None = None,
+    l1_params: L1Params | None = None,
+    behavior_maps=None,
+) -> ModuleRunResult:
+    """Run the §4.3 module experiment and return its results.
+
+    With the defaults this reproduces Figs. 4 and 5: r* = 4 s, N_L0 = 3,
+    T_L0 = 30 s, N_L1 = 1, T_L1 = 2 min, W = 8, gamma step 0.05 (0.1 for
+    the m = 6 / m = 10 variants, per the paper).
+    """
+    spec = paper_module_spec() if m == 4 else scaled_module_spec(m)
+    if l1_params is None:
+        if m == 4:
+            l1_params = L1Params(gamma_step=0.05)
+        else:
+            # The paper coarsens the search for larger modules (gamma
+            # quantised at 0.1 for m = 6 and m = 10) to keep the L1
+            # overhead flat; we additionally bound the neighbourhood.
+            l1_params = L1Params(
+                gamma_step=0.1,
+                gamma_neighborhood_moves=1,
+                max_gamma_candidates=8,
+            )
+    trace = module_workload(m=m, l1_samples=l1_samples, seed=seed)
+    simulation = ModuleSimulation(
+        spec,
+        trace,
+        l0_params=l0_params,
+        l1_params=l1_params,
+        baseline=baseline,
+        behavior_maps=behavior_maps,
+        options=SimulationOptions(seed=seed),
+    )
+    return simulation.run()
+
+
+def cluster_experiment(
+    p: int = 4,
+    samples: int = 600,
+    seed: int = 0,
+    l0_params: L0Params | None = None,
+    l1_params: L1Params | None = None,
+    l2_params: L2Params | None = None,
+    scale: float | None = None,
+) -> ClusterRunResult:
+    """Run the §5.2 cluster experiment (Figs. 6 and 7).
+
+    Sixteen heterogeneous computers in four heterogeneous modules under a
+    WC'98-shaped one-day trace; ``p = 5`` gives the twenty-computer
+    variant. The trace is scaled to the cluster's capacity when ``scale``
+    is not given explicitly.
+    """
+    spec = paper_cluster_spec(p=p)
+    trace = wc98_trace(WC98Spec(samples=samples), seed=seed)
+    if scale is None:
+        # "After capacity planning for the workload of interest": peak
+        # load sized to ~60 % of the cluster's full-speed capacity, so
+        # the hierarchy has the headroom the paper provisioned. The peak
+        # is always taken from the full day, even for shortened runs —
+        # capacity planning looks at the whole workload.
+        capacity = sum(m.max_service_rate(0.0175) for m in spec.modules)
+        reference = wc98_trace(WC98Spec(samples=600), seed=seed)
+        peak_rate = reference.counts.max() / reference.bin_seconds
+        scale = 0.6 * capacity / peak_rate
+    trace = trace.scaled(scale)
+    simulation = ClusterSimulation(
+        spec,
+        trace,
+        l0_params=l0_params,
+        l1_params=l1_params,
+        l2_params=l2_params,
+        options=SimulationOptions(seed=seed),
+    )
+    return simulation.run()
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Control-overhead measurements for one module size."""
+
+    m: int
+    l1_mean_states: float
+    l1_total_seconds: float
+    l0_total_seconds: float
+
+    @property
+    def combined_seconds(self) -> float:
+        """Combined L0 + L1 controller execution time (the paper's metric)."""
+        return self.l1_total_seconds + self.l0_total_seconds
+
+
+def overhead_experiment(
+    m: int, l1_samples: int = 400, seed: int = 0
+) -> OverheadReport:
+    """Measure §4.3's control overhead for a module of ``m`` computers."""
+    result = module_experiment(m=m, l1_samples=l1_samples, seed=seed)
+    return OverheadReport(
+        m=m,
+        l1_mean_states=result.l1_stats.mean_states,
+        l1_total_seconds=result.l1_stats.total_seconds,
+        l0_total_seconds=result.l0_stats.total_seconds,
+    )

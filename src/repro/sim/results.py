@@ -1,0 +1,180 @@
+"""Structured results from simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.controllers.stats import ControllerStats
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Headline numbers for one run (the quantities the paper reports)."""
+
+    mean_response: float
+    violation_fraction: float
+    total_energy: float
+    base_energy: float
+    dynamic_energy: float
+    transient_energy: float
+    switch_ons: int
+    switch_offs: int
+    mean_computers_on: float
+    controller_seconds: float
+    l1_mean_states: float
+
+    def __str__(self) -> str:
+        return (
+            f"mean r = {self.mean_response:.2f} s | "
+            f"violations = {100 * self.violation_fraction:.2f}% | "
+            f"energy = {self.total_energy:.0f} "
+            f"(base {self.base_energy:.0f} / dyn {self.dynamic_energy:.0f} / "
+            f"boot {self.transient_energy:.0f}) | "
+            f"switches on/off = {self.switch_ons}/{self.switch_offs} | "
+            f"avg on = {self.mean_computers_on:.2f} | "
+            f"ctrl = {self.controller_seconds:.2f} s"
+        )
+
+
+@dataclass
+class ModuleRunResult:
+    """Time series and stats from one module simulation.
+
+    L0-rate series have one entry per T_L0 step; L1-rate series one entry
+    per T_L1 period. ``frequencies``/``responses``/``queues`` are
+    (steps, m) matrices.
+    """
+
+    l0_period: float
+    l1_period: float
+    computer_names: list[str]
+    # L0-rate series
+    arrivals: np.ndarray
+    frequencies: np.ndarray
+    responses: np.ndarray
+    queues: np.ndarray
+    power: np.ndarray
+    # L1-rate series
+    l1_arrivals: np.ndarray
+    l1_predictions: np.ndarray
+    computers_on: np.ndarray
+    # Aggregates
+    target_response: float
+    energy_base: float
+    energy_dynamic: float
+    energy_transient: float
+    switch_ons: int
+    switch_offs: int
+    l0_stats: ControllerStats
+    l1_stats: ControllerStats
+
+    @property
+    def steps(self) -> int:
+        """Number of T_L0 steps simulated."""
+        return self.arrivals.size
+
+    @property
+    def module_response(self) -> np.ndarray:
+        """Mean response per step across serving computers (NaN when idle)."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            return np.nanmean(self.responses, axis=1)
+
+    def summary(self) -> RunSummary:
+        """Headline metrics over the run."""
+        responses = self.responses[~np.isnan(self.responses)]
+        mean_response = float(responses.mean()) if responses.size else 0.0
+        violations = (
+            float(np.mean(responses > self.target_response)) if responses.size else 0.0
+        )
+        return RunSummary(
+            mean_response=mean_response,
+            violation_fraction=violations,
+            total_energy=self.energy_base + self.energy_dynamic + self.energy_transient,
+            base_energy=self.energy_base,
+            dynamic_energy=self.energy_dynamic,
+            transient_energy=self.energy_transient,
+            switch_ons=self.switch_ons,
+            switch_offs=self.switch_offs,
+            mean_computers_on=float(self.computers_on.mean()),
+            controller_seconds=self.l0_stats.total_seconds + self.l1_stats.total_seconds,
+            l1_mean_states=self.l1_stats.mean_states,
+        )
+
+
+@dataclass
+class ClusterRunResult:
+    """Time series and stats from a cluster (L2 + modules) simulation."""
+
+    l2_period: float
+    module_names: list[str]
+    # L2-rate series
+    global_arrivals: np.ndarray
+    global_predictions: np.ndarray
+    gamma_history: np.ndarray  # (periods, p)
+    total_computers_on: np.ndarray
+    per_module_on: np.ndarray  # (periods, p)
+    # Aggregates
+    target_response: float
+    module_results: list[ModuleRunResult]
+    l2_stats: ControllerStats
+
+    @property
+    def periods(self) -> int:
+        """Number of T_L2 periods simulated."""
+        return self.global_arrivals.size
+
+    def summary(self) -> RunSummary:
+        """Cluster-wide headline metrics (modules merged)."""
+        responses = np.concatenate(
+            [m.responses[~np.isnan(m.responses)] for m in self.module_results]
+        )
+        mean_response = float(responses.mean()) if responses.size else 0.0
+        violations = (
+            float(np.mean(responses > self.target_response)) if responses.size else 0.0
+        )
+        l0 = ControllerStats()
+        l1 = ControllerStats()
+        for module in self.module_results:
+            l0 = l0.merged_with(module.l0_stats)
+            l1 = l1.merged_with(module.l1_stats)
+        return RunSummary(
+            mean_response=mean_response,
+            violation_fraction=violations,
+            total_energy=sum(
+                m.energy_base + m.energy_dynamic + m.energy_transient
+                for m in self.module_results
+            ),
+            base_energy=sum(m.energy_base for m in self.module_results),
+            dynamic_energy=sum(m.energy_dynamic for m in self.module_results),
+            transient_energy=sum(m.energy_transient for m in self.module_results),
+            switch_ons=sum(m.switch_ons for m in self.module_results),
+            switch_offs=sum(m.switch_offs for m in self.module_results),
+            mean_computers_on=float(self.total_computers_on.mean()),
+            controller_seconds=(
+                l0.total_seconds + l1.total_seconds + self.l2_stats.total_seconds
+            ),
+            l1_mean_states=l1.mean_states,
+        )
+
+    def hierarchy_path_seconds(self) -> float:
+        """Average execution time along one L2 -> L1 -> L0 path per period.
+
+        The paper's §5.2 scalability metric: the hierarchy's latency is
+        the sum of controller times along one path of Fig. 2(a), not the
+        sum over all controllers.
+        """
+        l2_mean = self.l2_stats.mean_seconds
+        l1_mean = max(m.l1_stats.mean_seconds for m in self.module_results)
+        # One L1 period spans several L0 decisions on the same computer.
+        worst_module = max(
+            self.module_results,
+            key=lambda m: m.l0_stats.mean_seconds,
+        )
+        substeps = round(worst_module.l1_period / worst_module.l0_period)
+        l0_mean = worst_module.l0_stats.mean_seconds * substeps
+        return l2_mean + l1_mean + l0_mean

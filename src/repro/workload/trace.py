@@ -1,0 +1,138 @@
+"""Arrival-trace container.
+
+A trace is a sequence of request *counts* per fixed-width time bin. The
+controllers observe counts at their own sampling periods, so the container
+supports rebinning (e.g. a 2-minute trace viewed at 30-second granularity
+for L0 controllers) plus scaling and slicing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import require_positive
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """Request counts per time bin.
+
+    Parameters
+    ----------
+    counts:
+        Non-negative request counts, one per bin.
+    bin_seconds:
+        Width of each bin in seconds.
+    """
+
+    counts: np.ndarray
+    bin_seconds: float
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=float)
+        if counts.ndim != 1 or counts.size == 0:
+            raise ConfigurationError("counts must be a non-empty 1-D array")
+        if np.any(counts < 0):
+            raise ConfigurationError("counts must be non-negative")
+        require_positive(self.bin_seconds, "bin_seconds")
+        object.__setattr__(self, "counts", counts)
+
+    def __len__(self) -> int:
+        return self.counts.size
+
+    @property
+    def duration(self) -> float:
+        """Total trace duration in seconds."""
+        return self.counts.size * self.bin_seconds
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Per-bin arrival rates (requests per second)."""
+        return self.counts / self.bin_seconds
+
+    @property
+    def total(self) -> float:
+        """Total requests in the trace."""
+        return float(self.counts.sum())
+
+    def scaled(self, factor: float) -> "ArrivalTrace":
+        """Multiply all counts by ``factor`` (capacity-planning helper)."""
+        require_positive(factor, "factor")
+        return ArrivalTrace(self.counts * factor, self.bin_seconds)
+
+    def sliced(self, start: int, stop: int | None = None) -> "ArrivalTrace":
+        """Bin-index slice of the trace."""
+        counts = self.counts[start:stop]
+        if counts.size == 0:
+            raise ConfigurationError("slice produced an empty trace")
+        return ArrivalTrace(counts, self.bin_seconds)
+
+    def rebinned(self, bin_seconds: float) -> "ArrivalTrace":
+        """View the trace at a different bin width.
+
+        Coarsening sums whole groups of bins (the new width must be an
+        integer multiple of the old). Refining splits each bin evenly (the
+        old width must be an integer multiple of the new) — adequate for
+        fluid simulation where only per-bin totals matter.
+        """
+        require_positive(bin_seconds, "bin_seconds")
+        if abs(bin_seconds - self.bin_seconds) < 1e-9:
+            return self
+        ratio = bin_seconds / self.bin_seconds
+        if ratio > 1:
+            group = round(ratio)
+            if abs(group - ratio) > 1e-9:
+                raise ConfigurationError(
+                    "coarser bin width must be an integer multiple"
+                )
+            usable = (self.counts.size // group) * group
+            if usable == 0:
+                raise ConfigurationError("trace too short to rebin")
+            grouped = self.counts[:usable].reshape(-1, group).sum(axis=1)
+            return ArrivalTrace(grouped, bin_seconds)
+        split = round(1.0 / ratio)
+        if abs(split - 1.0 / ratio) > 1e-9:
+            raise ConfigurationError("finer bin width must divide the old width")
+        refined = np.repeat(self.counts / split, split)
+        return ArrivalTrace(refined, bin_seconds)
+
+    # ------------------------------------------------------------------
+    # Persistence (two-column CSV: bin start seconds, request count)
+    # ------------------------------------------------------------------
+    def save_csv(self, path: "str | Path") -> None:
+        """Write the trace as ``time_seconds,count`` rows with a header."""
+        path = Path(path)
+        times = np.arange(self.counts.size) * self.bin_seconds
+        with path.open("w") as handle:
+            handle.write(f"# bin_seconds={self.bin_seconds}\n")
+            handle.write("time_seconds,count\n")
+            for t, count in zip(times, self.counts):
+                handle.write(f"{t:.6g},{count:.6g}\n")
+
+    @classmethod
+    def load_csv(cls, path: "str | Path") -> "ArrivalTrace":
+        """Read a trace written by :meth:`save_csv`."""
+        path = Path(path)
+        bin_seconds: float | None = None
+        counts: list[float] = []
+        with path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    key, _, value = line.lstrip("# ").partition("=")
+                    if key.strip() == "bin_seconds":
+                        bin_seconds = float(value)
+                    continue
+                if line.startswith("time_seconds"):
+                    continue
+                _, _, count = line.partition(",")
+                counts.append(float(count))
+        if bin_seconds is None:
+            raise ConfigurationError(f"{path} is missing the bin_seconds header")
+        return cls(np.asarray(counts), bin_seconds)

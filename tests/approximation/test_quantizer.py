@@ -1,0 +1,78 @@
+"""Tests for grid quantisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError
+from repro.approximation import GridQuantizer
+
+
+def _quantizer():
+    return GridQuantizer([[0.0, 10.0, 20.0], [0.0, 0.5, 1.0]])
+
+
+class TestConstruction:
+    def test_dimensions_and_cells(self):
+        quantizer = _quantizer()
+        assert quantizer.dimensions == 2
+        assert quantizer.cell_count == 9
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            GridQuantizer([])
+
+    def test_rejects_unsorted_levels(self):
+        with pytest.raises(ConfigurationError):
+            GridQuantizer([[1.0, 0.0]])
+
+    def test_rejects_duplicate_levels(self):
+        with pytest.raises(ConfigurationError):
+            GridQuantizer([[1.0, 1.0]])
+
+
+class TestSnap:
+    def test_exact_point(self):
+        assert _quantizer().snap([10.0, 0.5]) == (10.0, 0.5)
+
+    def test_rounds_to_nearest(self):
+        assert _quantizer().snap([4.9, 0.26]) == (0.0, 0.5)
+        assert _quantizer().snap([5.1, 0.24]) == (10.0, 0.0)
+
+    def test_clamps_outside_domain(self):
+        assert _quantizer().snap([-5.0, 2.0]) == (0.0, 1.0)
+        assert _quantizer().snap([100.0, -1.0]) == (20.0, 0.0)
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _quantizer().snap([1.0])
+
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+    )
+    def test_snap_idempotent(self, a, b):
+        quantizer = _quantizer()
+        snapped = quantizer.snap([a, b])
+        assert quantizer.snap(snapped) == snapped
+
+    @given(st.floats(min_value=0, max_value=20))
+    def test_snap_is_nearest(self, value):
+        quantizer = GridQuantizer([[0.0, 10.0, 20.0]])
+        snapped = quantizer.snap([value])[0]
+        distances = [abs(value - g) for g in (0.0, 10.0, 20.0)]
+        assert abs(value - snapped) == pytest.approx(min(distances))
+
+
+class TestGridPoints:
+    def test_enumerates_product(self):
+        points = list(_quantizer().grid_points())
+        assert len(points) == 9
+        assert (0.0, 0.0) in points
+        assert (20.0, 1.0) in points
+
+    def test_all_points_snap_to_themselves(self):
+        quantizer = _quantizer()
+        for point in quantizer.grid_points():
+            assert quantizer.snap(point) == point

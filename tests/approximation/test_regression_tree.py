@@ -1,0 +1,115 @@
+"""Tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError, NotTrainedError
+from repro.approximation import RegressionTree
+
+
+class TestFitBasics:
+    def test_requires_fit(self):
+        with pytest.raises(NotTrainedError):
+            RegressionTree().predict(np.zeros((1, 1)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            RegressionTree().fit(np.zeros((0, 1)), np.zeros(0))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            RegressionTree().fit(np.zeros((3, 1)), np.zeros(2))
+
+    def test_constant_target_single_leaf(self):
+        tree = RegressionTree().fit(np.arange(20.0).reshape(-1, 1), np.full(20, 3.0))
+        assert tree.leaf_count == 1
+        assert tree.predict_one([5.0]) == pytest.approx(3.0)
+
+    def test_wrong_feature_count_rejected(self):
+        tree = RegressionTree().fit(np.zeros((4, 2)), np.arange(4.0))
+        with pytest.raises(ConfigurationError):
+            tree.predict(np.zeros((1, 3)))
+
+
+class TestFitQuality:
+    def test_recovers_step_function(self):
+        x = np.linspace(0, 1, 200).reshape(-1, 1)
+        y = np.where(x[:, 0] < 0.5, 1.0, 5.0)
+        tree = RegressionTree(max_depth=2).fit(x, y)
+        assert tree.predict_one([0.2]) == pytest.approx(1.0)
+        assert tree.predict_one([0.8]) == pytest.approx(5.0)
+
+    def test_beats_mean_predictor_on_smooth_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (500, 2))
+        y = np.sin(4 * x[:, 0]) + x[:, 1] ** 2
+        tree = RegressionTree(max_depth=8, min_samples_leaf=4).fit(x, y)
+        predictions = tree.predict(x)
+        mse_tree = np.mean((predictions - y) ** 2)
+        mse_mean = np.var(y)
+        assert mse_tree < mse_mean / 10
+
+    def test_splits_on_relevant_feature(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, (300, 3))
+        y = np.where(x[:, 1] < 0.5, 0.0, 10.0)  # only feature 1 matters
+        tree = RegressionTree(max_depth=1).fit(x, y)
+        assert tree._root.feature == 1
+
+    def test_depth_limit_respected(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, (400, 1))
+        y = rng.normal(0, 1, 400)
+        tree = RegressionTree(max_depth=3, min_variance_reduction=0.0).fit(x, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf_respected(self):
+        x = np.arange(10.0).reshape(-1, 1)
+        y = np.arange(10.0)
+        tree = RegressionTree(max_depth=10, min_samples_leaf=5).fit(x, y)
+        # With 10 samples and 5-per-leaf, at most one split is possible.
+        assert tree.leaf_count <= 2
+
+    def test_single_point_prediction_matches_batch(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 1, (100, 2))
+        y = x[:, 0] * 3
+        tree = RegressionTree().fit(x, y)
+        batch = tree.predict(x[:5])
+        singles = [tree.predict_one(row) for row in x[:5]]
+        assert np.allclose(batch, singles)
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1),
+                st.floats(min_value=-10, max_value=10),
+            ),
+            min_size=2,
+            max_size=60,
+        )
+    )
+    def test_predictions_inside_target_hull(self, rows):
+        x = np.array([[r[0]] for r in rows])
+        y = np.array([r[1] for r in rows])
+        tree = RegressionTree(max_depth=4, min_samples_leaf=1).fit(x, y)
+        predictions = tree.predict(x)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=6))
+    def test_deeper_trees_never_fit_worse(self, depth):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0, 1, (200, 1))
+        y = np.sin(6 * x[:, 0])
+        shallow = RegressionTree(max_depth=depth, min_samples_leaf=1).fit(x, y)
+        deep = RegressionTree(max_depth=depth + 2, min_samples_leaf=1).fit(x, y)
+        mse_shallow = np.mean((shallow.predict(x) - y) ** 2)
+        mse_deep = np.mean((deep.predict(x) - y) ** 2)
+        assert mse_deep <= mse_shallow + 1e-12

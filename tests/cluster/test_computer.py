@@ -1,0 +1,173 @@
+"""Tests for the Computer plant model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common import ControlError, SimulationError
+from repro.cluster import Computer, ComputerSpec, PowerState, processor_profile
+
+
+def _computer(profile="c4", discrete_event=False, initially_on=True, **kwargs):
+    spec = ComputerSpec(name="C", processor=processor_profile(profile), **kwargs)
+    return Computer(spec, initially_on=initially_on, discrete_event=discrete_event)
+
+
+class TestFrequencyControl:
+    def test_starts_at_max_frequency(self):
+        computer = _computer()
+        assert computer.phi == pytest.approx(1.0)
+        assert computer.frequency_ghz == pytest.approx(2.0)
+
+    def test_set_frequency_index(self):
+        computer = _computer()
+        computer.set_frequency_index(0)
+        assert computer.frequency_ghz == pytest.approx(0.5)
+        assert computer.phi == pytest.approx(0.25)
+
+    def test_rejects_out_of_range_index(self):
+        computer = _computer()
+        with pytest.raises(ControlError):
+            computer.set_frequency_index(99)
+        with pytest.raises(ControlError):
+            computer.set_frequency_index(-1)
+
+
+class TestFluidStep:
+    def test_underloaded_queue_stays_empty(self):
+        computer = _computer()
+        result = computer.step_fluid(arrivals=10.0, mean_work=0.0175, dt=30.0)
+        assert result.queue == 0.0
+        assert result.served == pytest.approx(10.0)
+        assert result.response_time > 0
+
+    def test_overloaded_queue_grows(self):
+        computer = _computer()
+        computer.set_frequency_index(0)  # phi = 0.25, rate = 0.25/0.0175 ~ 14.3
+        result = computer.step_fluid(arrivals=1000.0, mean_work=0.0175, dt=30.0)
+        assert result.queue > 0
+        assert result.served < 1000.0
+
+    def test_power_matches_model(self):
+        computer = _computer(base_power=0.75)
+        result = computer.step_fluid(arrivals=0.0, mean_work=0.0175, dt=30.0)
+        assert result.power == pytest.approx(0.75 + 1.0)  # phi = 1
+
+    def test_energy_accumulates(self):
+        computer = _computer()
+        computer.step_fluid(arrivals=0.0, mean_work=0.0175, dt=30.0)
+        assert computer.energy.total == pytest.approx((0.75 + 1.0) * 30.0)
+
+    def test_off_machine_draws_nothing(self):
+        computer = _computer(initially_on=False)
+        result = computer.step_fluid(arrivals=0.0, mean_work=0.0175, dt=30.0)
+        assert result.power == 0.0
+        assert computer.energy.total == 0.0
+
+    def test_off_machine_rejects_arrivals(self):
+        computer = _computer(initially_on=False)
+        with pytest.raises(ControlError):
+            computer.step_fluid(arrivals=5.0, mean_work=0.0175, dt=30.0)
+
+    def test_booting_machine_queues_but_does_not_serve(self):
+        computer = _computer(initially_on=False, boot_delay=120.0)
+        computer.power_on()
+        result = computer.step_fluid(arrivals=5.0, mean_work=0.0175, dt=30.0)
+        assert result.served == 0.0
+        assert result.queue == pytest.approx(5.0)
+        assert result.power == pytest.approx(0.75)  # base draw while booting
+
+    def test_boot_completes_and_serves(self):
+        computer = _computer(initially_on=False, boot_delay=30.0)
+        computer.power_on()
+        computer.step_fluid(arrivals=0.0, mean_work=0.0175, dt=30.0)
+        assert computer.lifecycle.state is PowerState.ON
+
+    def test_boot_energy_transient(self):
+        computer = _computer(initially_on=False, boot_energy=8.0)
+        computer.power_on()
+        assert computer.energy.transient_energy == pytest.approx(8.0)
+
+    def test_draining_machine_serves_residual(self):
+        computer = _computer()
+        computer.set_frequency_index(0)
+        computer.step_fluid(arrivals=1000.0, mean_work=0.0175, dt=30.0)
+        backlog = computer.queue
+        computer.power_off()
+        result = computer.step_fluid(arrivals=0.0, mean_work=0.0175, dt=30.0)
+        assert result.served > 0
+        assert computer.queue < backlog
+
+    def test_drained_machine_turns_off(self):
+        computer = _computer()
+        computer.power_off()
+        computer.step_fluid(arrivals=0.0, mean_work=0.0175, dt=30.0)
+        assert computer.lifecycle.state is PowerState.OFF
+
+    def test_no_served_response_is_nan(self):
+        computer = _computer(initially_on=False)
+        result = computer.step_fluid(arrivals=0.0, mean_work=0.0175, dt=30.0)
+        assert math.isnan(result.response_time)
+
+    def test_des_mode_rejects_fluid_step(self):
+        computer = _computer(discrete_event=True)
+        with pytest.raises(SimulationError):
+            computer.step_fluid(arrivals=1.0, mean_work=0.0175, dt=30.0)
+
+
+class TestDiscreteEventStep:
+    def test_requests_complete(self):
+        computer = _computer(discrete_event=True)
+        times = np.array([0.0, 1.0, 2.0])
+        works = np.full(3, 0.0175)
+        computer.offer_requests(times, works)
+        result = computer.step_des(dt=30.0)
+        assert result.served == 3
+        assert len(result.completed_responses) == 3
+        assert result.response_time == pytest.approx(0.0175, rel=0.01)
+
+    def test_frequency_scales_throughput(self):
+        fast = _computer(discrete_event=True)
+        slow = _computer(discrete_event=True)
+        slow.set_frequency_index(0)
+        times = np.linspace(0, 29, 400)
+        works = np.full(400, 0.1)
+        fast.offer_requests(times, works)
+        slow.offer_requests(times.copy(), works.copy())
+        done_fast = fast.step_des(dt=30.0).served
+        done_slow = slow.step_des(dt=30.0).served
+        assert done_fast > done_slow
+
+    def test_fluid_mode_rejects_des_calls(self):
+        computer = _computer()
+        with pytest.raises(SimulationError):
+            computer.step_des(dt=30.0)
+        with pytest.raises(SimulationError):
+            computer.offer_requests(np.array([0.0]), np.array([0.1]))
+
+    def test_off_machine_completes_nothing(self):
+        computer = _computer(discrete_event=True, initially_on=False)
+        result = computer.step_des(dt=30.0)
+        assert result.served == 0
+
+
+class TestFluidVersusDiscreteEvent:
+    def test_modes_agree_on_throughput(self):
+        """Same workload, same settings: fluid and DES throughput match."""
+        rng = np.random.default_rng(0)
+        lam, work, dt = 40.0, 0.0175, 30.0
+        fluid = _computer()
+        des = _computer(discrete_event=True)
+        fluid.set_frequency_index(3)
+        des.set_frequency_index(3)
+        total_fluid = total_des = 0.0
+        clock = 0.0
+        for _ in range(20):
+            n = rng.poisson(lam * dt)
+            total_fluid += fluid.step_fluid(float(n), work, dt).served
+            times = np.sort(rng.uniform(clock, clock + dt, n))
+            des.offer_requests(times, np.full(n, work))
+            total_des += des.step_des(dt).served
+            clock += dt
+        assert total_fluid == pytest.approx(total_des, rel=0.05)

@@ -1,0 +1,102 @@
+"""Unit tests for the FAILED lifecycle state and computer failure API."""
+
+import pytest
+
+from repro.cluster import (
+    Computer,
+    ComputerSpec,
+    MachineLifecycle,
+    PowerState,
+    processor_profile,
+)
+
+
+def _computer(**kwargs):
+    spec = ComputerSpec(name="C", processor=processor_profile("c4"))
+    return Computer(spec, **kwargs)
+
+
+class TestLifecycleFailed:
+    def test_fail_from_on(self):
+        machine = MachineLifecycle(initially_on=True)
+        machine.fail()
+        assert machine.state is PowerState.FAILED
+        assert machine.is_failed
+        assert not machine.is_serving
+        assert not machine.draws_power
+        assert not machine.accepts_work
+
+    def test_fail_aborts_boot(self):
+        machine = MachineLifecycle(boot_delay=120.0, initially_on=False)
+        machine.power_on()
+        machine.fail()
+        machine.tick(200.0, queue_empty=True)
+        assert machine.state is PowerState.FAILED
+
+    def test_power_commands_ignored_while_failed(self):
+        machine = MachineLifecycle(initially_on=True)
+        machine.fail()
+        machine.power_on()
+        assert machine.state is PowerState.FAILED
+        machine.power_off()
+        assert machine.state is PowerState.FAILED
+
+    def test_repair_goes_to_off(self):
+        machine = MachineLifecycle(initially_on=True)
+        machine.fail()
+        machine.repair()
+        assert machine.state is PowerState.OFF
+
+    def test_repair_noop_when_not_failed(self):
+        machine = MachineLifecycle(initially_on=True)
+        machine.repair()
+        assert machine.state is PowerState.ON
+
+    def test_repaired_machine_boots_normally(self):
+        machine = MachineLifecycle(boot_delay=60.0, initially_on=True)
+        machine.fail()
+        machine.repair()
+        machine.power_on()
+        assert machine.state is PowerState.BOOTING
+        machine.tick(60.0, queue_empty=True)
+        assert machine.state is PowerState.ON
+
+
+class TestComputerFailure:
+    def test_fail_returns_backlog(self):
+        computer = _computer()
+        computer.queue = 75.0
+        assert computer.fail() == pytest.approx(75.0)
+        assert computer.queue_length == 0.0
+        assert computer.is_failed
+
+    def test_failed_computer_draws_no_power(self):
+        computer = _computer()
+        computer.fail()
+        result = computer.step_fluid(0.0, 0.0175, 30.0)
+        assert result.power == 0.0
+        assert result.served == 0.0
+
+    def test_failed_computer_rejects_arrivals(self):
+        from repro.common import ControlError
+
+        computer = _computer()
+        computer.fail()
+        with pytest.raises(ControlError):
+            computer.step_fluid(5.0, 0.0175, 30.0)
+
+    def test_des_backlog_dropped_on_failure(self):
+        import numpy as np
+
+        computer = _computer(discrete_event=True)
+        computer.offer_requests(np.array([0.0, 1.0]), np.array([0.1, 0.1]))
+        computer.fail()
+        assert computer.queue_length == 0.0
+
+    def test_repair_then_serve(self):
+        computer = _computer()
+        computer.fail()
+        computer.repair()
+        computer.power_on()  # boot_delay 120 s
+        computer.step_fluid(0.0, 0.0175, 30.0)
+        assert computer.lifecycle.state is PowerState.BOOTING

@@ -1,0 +1,103 @@
+"""Tests for the machine power-state machine."""
+
+import pytest
+
+from repro.common import ControlError
+from repro.cluster import MachineLifecycle, PowerState
+
+
+class TestInitialStates:
+    def test_initially_on(self):
+        assert MachineLifecycle(initially_on=True).state is PowerState.ON
+
+    def test_initially_off(self):
+        machine = MachineLifecycle(initially_on=False)
+        assert machine.state is PowerState.OFF
+        assert not machine.is_serving
+        assert not machine.draws_power
+
+
+class TestBooting:
+    def test_power_on_enters_booting(self):
+        machine = MachineLifecycle(boot_delay=120.0, initially_on=False)
+        machine.power_on()
+        assert machine.state is PowerState.BOOTING
+        assert machine.draws_power
+        assert not machine.is_serving
+
+    def test_boot_completes_after_delay(self):
+        machine = MachineLifecycle(boot_delay=120.0, initially_on=False)
+        machine.power_on()
+        machine.tick(60.0, queue_empty=True)
+        assert machine.state is PowerState.BOOTING
+        machine.tick(60.0, queue_empty=True)
+        assert machine.state is PowerState.ON
+
+    def test_zero_boot_delay_is_instant(self):
+        machine = MachineLifecycle(boot_delay=0.0, initially_on=False)
+        machine.power_on()
+        assert machine.state is PowerState.ON
+
+    def test_power_on_idempotent(self):
+        machine = MachineLifecycle(initially_on=False)
+        machine.power_on()
+        machine.power_on()
+        assert machine.switch_on_count == 1
+
+    def test_abort_boot(self):
+        machine = MachineLifecycle(boot_delay=120.0, initially_on=False)
+        machine.power_on()
+        machine.power_off()
+        assert machine.state is PowerState.OFF
+
+
+class TestDraining:
+    def test_power_off_drains_first(self):
+        machine = MachineLifecycle(initially_on=True)
+        machine.power_off()
+        assert machine.state is PowerState.DRAINING
+        assert machine.is_serving
+        assert not machine.accepts_work
+
+    def test_drain_completes_when_queue_empty(self):
+        machine = MachineLifecycle(initially_on=True)
+        machine.power_off()
+        machine.tick(30.0, queue_empty=False)
+        assert machine.state is PowerState.DRAINING
+        machine.tick(30.0, queue_empty=True)
+        assert machine.state is PowerState.OFF
+
+    def test_power_on_cancels_drain(self):
+        machine = MachineLifecycle(initially_on=True)
+        machine.power_off()
+        machine.power_on()
+        assert machine.state is PowerState.ON
+        # Cancelling a drain is not a fresh boot.
+        assert machine.switch_on_count == 0
+
+    def test_power_off_idempotent(self):
+        machine = MachineLifecycle(initially_on=True)
+        machine.power_off()
+        machine.power_off()
+        assert machine.switch_off_count == 1
+
+
+class TestTick:
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ControlError):
+            MachineLifecycle().tick(-1.0, queue_empty=True)
+
+    def test_on_state_unaffected_by_tick(self):
+        machine = MachineLifecycle(initially_on=True)
+        machine.tick(1000.0, queue_empty=True)
+        assert machine.state is PowerState.ON
+
+    def test_switch_counters(self):
+        machine = MachineLifecycle(boot_delay=10.0, initially_on=False)
+        machine.power_on()
+        machine.tick(10.0, queue_empty=True)
+        machine.power_off()
+        machine.tick(1.0, queue_empty=True)
+        machine.power_on()
+        assert machine.switch_on_count == 2
+        assert machine.switch_off_count == 1

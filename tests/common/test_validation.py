@@ -1,0 +1,94 @@
+"""Unit tests for argument-validation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import (
+    ConfigurationError,
+    require_between,
+    require_in,
+    require_non_negative,
+    require_positive,
+    require_probability_vector,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError, match="x must be > 0"):
+            require_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            require_positive(float("nan"), "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_non_negative(-0.1, "x")
+
+
+class TestRequireBetween:
+    def test_accepts_bounds(self):
+        assert require_between(0.0, 0.0, 1.0, "x") == 0.0
+        assert require_between(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            require_between(1.01, 0.0, 1.0, "x")
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_accepts_everything_inside(self, value):
+        assert require_between(value, 0.0, 1.0, "x") == value
+
+
+class TestRequireIn:
+    def test_accepts_member(self):
+        assert require_in("a", ["a", "b"], "x") == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ConfigurationError):
+            require_in("c", ["a", "b"], "x")
+
+
+class TestRequireProbabilityVector:
+    def test_accepts_simplex_vector(self):
+        out = require_probability_vector([0.25, 0.25, 0.5], "gamma")
+        assert isinstance(out, np.ndarray)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            require_probability_vector([0.5, 0.6], "gamma")
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ConfigurationError):
+            require_probability_vector([1.2, -0.2], "gamma")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            require_probability_vector([], "gamma")
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ConfigurationError):
+            require_probability_vector([[0.5, 0.5]], "gamma")
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=8))
+    def test_normalised_vectors_always_pass(self, raw):
+        arr = np.asarray(raw)
+        arr = arr / arr.sum()
+        out = require_probability_vector(arr, "gamma")
+        assert np.all(out >= 0)

@@ -1,0 +1,235 @@
+"""Tests for the L1 module controller and its abstraction map."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.cluster import paper_module_spec
+from repro.controllers import ComputerBehaviorMap, L1Controller, L1Params
+
+
+@pytest.fixture(scope="module")
+def module_spec():
+    return paper_module_spec()
+
+
+@pytest.fixture(scope="module")
+def trained_l1(module_spec):
+    """One trained L1 controller shared by this test module."""
+    return L1Controller(module_spec)
+
+
+def _fresh_l1(trained_l1, module_spec, **params):
+    """Reuse the expensive trained maps with fresh params/stats."""
+    return L1Controller(
+        module_spec, behavior_maps=trained_l1.maps, params=L1Params(**params)
+    )
+
+
+class TestComputerBehaviorMap:
+    def test_full_grid_trained(self, trained_l1):
+        for behavior_map in trained_l1.maps:
+            assert behavior_map.table.coverage == 1.0
+
+    def test_cost_increases_with_load(self, trained_l1):
+        behavior_map = trained_l1.maps[3]  # C4
+        low, _ = behavior_map.cost_and_next_queue(0.0, 10.0, 0.0175)
+        high, _ = behavior_map.cost_and_next_queue(0.0, 55.0, 0.0175)
+        assert high > low
+
+    def test_overload_grows_queue(self, trained_l1):
+        behavior_map = trained_l1.maps[3]
+        _, next_queue = behavior_map.cost_and_next_queue(0.0, 75.0, 0.0175)
+        assert next_queue > 0.0
+
+    def test_idle_cost_is_base_plus_min_dynamic(self, trained_l1):
+        behavior_map = trained_l1.maps[3]
+        cost, next_queue = behavior_map.cost_and_next_queue(0.0, 0.0, 0.0175)
+        spec = behavior_map.spec
+        phi_min = spec.processor.scaling_factors[0]
+        expected = (spec.base_power + phi_min**2) * behavior_map.substeps
+        assert cost == pytest.approx(expected, rel=0.01)
+        assert next_queue == 0.0
+
+    def test_online_adjust_shifts_cell(self, trained_l1):
+        behavior_map = ComputerBehaviorMap.train(trained_l1.spec.computers[0])
+        before, _ = behavior_map.cost_and_next_queue(0.0, 0.0, 0.0175)
+        behavior_map.adjust(0.0, 0.0, 0.0175, before + 10.0, 0.0, learning_rate=0.5)
+        after, _ = behavior_map.cost_and_next_queue(0.0, 0.0, 0.0175)
+        assert after == pytest.approx(before + 5.0)
+
+
+class TestL1Decide:
+    def test_light_load_turns_machines_off(self, trained_l1, module_spec):
+        l1 = _fresh_l1(trained_l1, module_spec)
+        decision = l1.decide(
+            np.zeros(4), np.ones(4, dtype=bool),
+            rate_hat=10.0, rate_next=10.0, delta=0.0, work=0.0175,
+        )
+        assert decision.alpha.sum() < 4
+
+    def test_heavy_load_keeps_machines_on(self, trained_l1, module_spec):
+        l1 = _fresh_l1(trained_l1, module_spec)
+        decision = l1.decide(
+            np.zeros(4), np.ones(4, dtype=bool),
+            rate_hat=180.0, rate_next=180.0, delta=0.0, work=0.0175,
+        )
+        assert decision.alpha.sum() == 4
+
+    def test_rising_forecast_boots_machine(self, trained_l1, module_spec):
+        """Proactive power-on: low load now, surge forecast next period."""
+        l1 = _fresh_l1(trained_l1, module_spec)
+        alpha_now = np.array([False, False, False, True])
+        decision = l1.decide(
+            np.zeros(4), alpha_now,
+            rate_hat=20.0, rate_next=150.0, delta=0.0, work=0.0175,
+        )
+        assert decision.alpha.sum() > 1
+
+    def test_gamma_sums_to_one(self, trained_l1, module_spec):
+        l1 = _fresh_l1(trained_l1, module_spec)
+        decision = l1.decide(
+            np.zeros(4), np.ones(4, dtype=bool),
+            rate_hat=100.0, rate_next=100.0, delta=5.0, work=0.0175,
+        )
+        assert decision.gamma.sum() == pytest.approx(1.0)
+
+    def test_gamma_zero_for_non_serving(self, trained_l1, module_spec):
+        l1 = _fresh_l1(trained_l1, module_spec)
+        alpha_now = np.array([True, True, True, False])
+        decision = l1.decide(
+            np.zeros(4), alpha_now,
+            rate_hat=100.0, rate_next=100.0, delta=0.0, work=0.0175,
+        )
+        # Machine 3 is off now: even if switched on, it boots this period
+        # and must receive no load.
+        assert decision.gamma[3] == 0.0
+
+    def test_alpha_gamma_consistency(self, trained_l1, module_spec):
+        """The paper's constraint alpha_j >= gamma_j (no load to off)."""
+        l1 = _fresh_l1(trained_l1, module_spec)
+        for rate in (20.0, 80.0, 160.0):
+            decision = l1.decide(
+                np.full(4, 5.0), np.ones(4, dtype=bool),
+                rate_hat=rate, rate_next=rate, delta=10.0, work=0.0175,
+            )
+            assert np.all(decision.alpha >= (decision.gamma > 0))
+
+    def test_never_turns_everything_off(self, trained_l1, module_spec):
+        l1 = _fresh_l1(trained_l1, module_spec)
+        alpha_now = np.array([True, False, False, False])
+        decision = l1.decide(
+            np.zeros(4), alpha_now,
+            rate_hat=0.0, rate_next=0.0, delta=0.0, work=0.0175,
+        )
+        assert decision.alpha.sum() >= 1
+
+    def test_states_explored_positive_and_recorded(self, trained_l1, module_spec):
+        l1 = _fresh_l1(trained_l1, module_spec)
+        decision = l1.decide(
+            np.zeros(4), np.ones(4, dtype=bool),
+            rate_hat=100.0, rate_next=100.0, delta=5.0, work=0.0175,
+        )
+        assert decision.states_explored > 50
+        assert l1.stats.invocations == 1
+
+    def test_shape_validation(self, trained_l1, module_spec):
+        l1 = _fresh_l1(trained_l1, module_spec)
+        with pytest.raises(ConfigurationError):
+            l1.decide(np.zeros(3), np.ones(4, dtype=bool), 1.0, 1.0, 0.0, 0.0175)
+
+
+class TestChatteringMitigation:
+    def test_band_provisions_robust_capacity(self, trained_l1, module_spec):
+        """With the load right at a machine-count boundary, a wide
+        uncertainty band must provision at least as many machines as the
+        point forecast (the lambda+delta sample sees the overload)."""
+        l1 = _fresh_l1(trained_l1, module_spec)
+        alpha_now = np.array([False, False, True, True])
+        rate = 100.0  # just under C3+C4 capacity (~110 req/s)
+        point = l1.decide(
+            np.zeros(4), alpha_now, rate_hat=rate, rate_next=rate,
+            delta=0.0, work=0.0175,
+        )
+        banded = l1.decide(
+            np.zeros(4), alpha_now, rate_hat=rate, rate_next=rate,
+            delta=30.0, work=0.0175,
+        )
+        assert banded.alpha.sum() >= point.alpha.sum()
+
+    def test_full_mitigation_reduces_switches(self, trained_l1, module_spec):
+        """The paper's pipeline (Kalman-smoothed forecasts + band + W)
+        must switch machines less than a naive reactive variant driven by
+        raw noisy rates with no switching penalty."""
+        rng = np.random.default_rng(0)
+        base_rate = 95.0
+        noisy_rates = np.clip(
+            base_rate + rng.normal(0, 20.0, 80), 0.0, None
+        )
+
+        mitigated = _fresh_l1(trained_l1, module_spec, switching_weight=8.0)
+        naive = _fresh_l1(
+            trained_l1, module_spec,
+            switching_weight=0.0, use_uncertainty_band=False,
+        )
+
+        def count_switches(l1, use_pipeline):
+            alpha = np.ones(4, dtype=bool)
+            switches = 0
+            for rate in noisy_rates:
+                if use_pipeline:
+                    l1.observe(rate * 120.0, 0.0175)
+                    decision = l1.act(np.zeros(4), alpha)
+                else:
+                    decision = l1.decide(
+                        np.zeros(4), alpha, rate_hat=rate, rate_next=rate,
+                        delta=0.0, work=0.0175,
+                    )
+                new_alpha = decision.alpha.astype(bool)
+                switches += int(np.sum(new_alpha != alpha))
+                alpha = new_alpha
+            return switches
+
+        assert count_switches(mitigated, True) <= count_switches(naive, False)
+
+    def test_switching_weight_damps_oscillation(self, trained_l1, module_spec):
+        """Higher W must never produce more switch-ons."""
+        def run(weight):
+            l1 = _fresh_l1(trained_l1, module_spec, switching_weight=weight)
+            rng = np.random.default_rng(1)
+            alpha = np.ones(4, dtype=bool)
+            switch_ons = 0
+            for _ in range(50):
+                rate = max(90.0 + rng.normal(0, 25.0), 0.0)
+                decision = l1.decide(
+                    np.zeros(4), alpha,
+                    rate_hat=rate, rate_next=rate, delta=0.0, work=0.0175,
+                )
+                new_alpha = decision.alpha.astype(bool)
+                switch_ons += int(np.sum(new_alpha & ~alpha))
+                alpha = new_alpha
+            return switch_ons
+
+        assert run(weight=32.0) <= run(weight=0.0)
+
+    def test_alpha_radius_two_widens_neighbourhood(self, trained_l1, module_spec):
+        l1 = _fresh_l1(trained_l1, module_spec, alpha_radius=2)
+        alpha_now = np.array([False, False, False, True])
+        decision = l1.decide(
+            np.zeros(4), alpha_now,
+            rate_hat=20.0, rate_next=190.0, delta=0.0, work=0.0175,
+        )
+        # Radius 2 can boot two machines in one period for a large surge.
+        assert decision.alpha.sum() >= 2
+
+
+class TestActAndObserve:
+    def test_act_runs_with_internal_filters(self, trained_l1, module_spec):
+        l1 = _fresh_l1(trained_l1, module_spec)
+        for _ in range(5):
+            l1.observe(arrival_count=12000.0, measured_work=0.0175)
+        decision = l1.act(np.zeros(4), np.ones(4, dtype=bool))
+        assert decision.gamma.sum() == pytest.approx(1.0)
+
+    def test_substep_count(self, trained_l1):
+        assert trained_l1.substep_count() == 4

@@ -1,0 +1,107 @@
+"""Tests for the L2 cluster controller and module cost map."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.cluster import paper_cluster_spec, paper_module_spec
+from repro.controllers import L2Controller, L2Params, ModuleCostMap
+
+
+@pytest.fixture(scope="module")
+def module_map():
+    """One trained module cost map shared by this test module."""
+    return ModuleCostMap.train(paper_module_spec())
+
+
+@pytest.fixture(scope="module")
+def l2(module_map):
+    return L2Controller([module_map] * 4)
+
+
+class TestModuleCostMap:
+    def test_dataset_covers_grid(self, module_map):
+        assert module_map.dataset.size == 6 * 16 * 2
+
+    def test_cost_increases_with_load(self, module_map):
+        low = module_map.cost(0.0, 20.0, 0.0175)
+        high = module_map.cost(0.0, 180.0, 0.0175)
+        assert high > low
+
+    def test_cost_increases_with_backlog(self, module_map):
+        empty = module_map.cost(0.0, 100.0, 0.0175)
+        backed_up = module_map.cost(320.0, 100.0, 0.0175)
+        assert backed_up > empty
+
+    def test_next_queue_non_negative(self, module_map):
+        for rate in (0.0, 60.0, 200.0):
+            assert module_map.next_queue(50.0, rate, 0.0175) >= 0.0
+
+    def test_overload_grows_queue(self, module_map):
+        next_queue = module_map.next_queue(0.0, 230.0, 0.021)
+        assert next_queue > 10.0
+
+    def test_trees_are_compact(self, module_map):
+        assert module_map.cost_tree.depth <= 10
+        assert module_map.cost_tree.leaf_count <= module_map.dataset.size
+
+
+class TestL2Decide:
+    def test_gamma_sums_to_one(self, l2):
+        decision = l2.decide(np.zeros(4), 300.0, 300.0, 0.0175)
+        assert decision.gamma.sum() == pytest.approx(1.0)
+
+    def test_gamma_on_quantised_grid(self, l2):
+        decision = l2.decide(np.zeros(4), 300.0, 300.0, 0.0175)
+        quanta = decision.gamma / 0.1
+        assert np.allclose(quanta, np.rint(quanta))
+
+    def test_avoids_backlogged_module(self, module_map):
+        controller = L2Controller([module_map] * 2)
+        decision = controller.decide(
+            np.array([300.0, 0.0]), 150.0, 150.0, 0.0175
+        )
+        # Module 0 is deeply backlogged: it should receive less load.
+        assert decision.gamma[0] <= decision.gamma[1]
+
+    def test_exhaustive_explores_full_simplex(self, l2):
+        decision = l2.decide(np.zeros(4), 300.0, 300.0, 0.0175)
+        # 286 gamma vectors x 4 modules x 2 horizon terms.
+        assert decision.states_explored == 286 * 4 * 2
+
+    def test_bounded_mode_explores_less(self, module_map):
+        bounded = L2Controller(
+            [module_map] * 4, L2Params(exhaustive=False)
+        )
+        exhaustive = L2Controller([module_map] * 4)
+        gamma_now = np.full(4, 0.25)
+        a = bounded.decide(np.zeros(4), 300.0, 300.0, 0.0175, gamma_current=gamma_now)
+        b = exhaustive.decide(np.zeros(4), 300.0, 300.0, 0.0175)
+        assert a.states_explored < b.states_explored
+        assert a.gamma.sum() == pytest.approx(1.0)
+
+    def test_shape_validation(self, l2):
+        with pytest.raises(ConfigurationError):
+            l2.decide(np.zeros(3), 100.0, 100.0, 0.0175)
+
+    def test_requires_maps(self):
+        with pytest.raises(ConfigurationError):
+            L2Controller([])
+
+    def test_stats_recorded(self, module_map):
+        controller = L2Controller([module_map] * 4)
+        controller.decide(np.zeros(4), 100.0, 100.0, 0.0175)
+        assert controller.stats.invocations == 1
+
+
+class TestActAndObserve:
+    def test_act_with_internal_filters(self, module_map):
+        controller = L2Controller([module_map] * 4)
+        for _ in range(5):
+            controller.observe(arrival_count=36000.0, measured_work=0.0175)
+        decision = controller.act(np.zeros(4))
+        assert decision.gamma.sum() == pytest.approx(1.0)
+
+    def test_work_estimate_default(self, module_map):
+        controller = L2Controller([module_map])
+        assert controller.work_estimate == pytest.approx(0.0175)

@@ -1,0 +1,95 @@
+"""Property-based tests on controller invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ComputerSpec, paper_module_spec, processor_profile
+from repro.controllers import L0Controller, L1Controller
+
+
+@pytest.fixture(scope="module")
+def l1_shared():
+    """One trained L1 controller reused across property examples."""
+    return L1Controller(paper_module_spec())
+
+
+class TestL0Properties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=0, max_value=5000),
+        st.floats(min_value=0, max_value=300),
+        st.floats(min_value=0.005, max_value=0.05),
+    )
+    def test_decision_always_valid_index(self, queue, rate, work):
+        controller = L0Controller(
+            ComputerSpec(name="C", processor=processor_profile("c4"))
+        )
+        decision = controller.decide(queue, np.full(3, rate), work)
+        assert 0 <= decision.frequency_index < 7
+        assert decision.expected_cost >= 0.0
+        assert decision.states_explored == 399
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0, max_value=200))
+    def test_more_backlog_never_lowers_frequency(self, rate):
+        controller = L0Controller(
+            ComputerSpec(name="C", processor=processor_profile("c4"))
+        )
+        rates = np.full(3, rate)
+        low = controller.decide(0.0, rates, 0.0175).frequency_index
+        high = controller.decide(500.0, rates, 0.0175).frequency_index
+        assert high >= low
+
+
+class TestL1Properties:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        st.floats(min_value=0, max_value=250),
+        st.floats(min_value=0, max_value=30),
+        st.lists(st.floats(min_value=0, max_value=200), min_size=4, max_size=4),
+    )
+    def test_decision_invariants(self, l1_shared, rate, delta, queues):
+        decision = l1_shared.decide(
+            np.asarray(queues),
+            np.ones(4, dtype=bool),
+            rate_hat=rate,
+            rate_next=rate,
+            delta=delta,
+            work=0.0175,
+        )
+        # gamma on the quantised simplex.
+        assert decision.gamma.sum() == pytest.approx(1.0)
+        quanta = decision.gamma / l1_shared.params.gamma_step
+        assert np.allclose(quanta, np.rint(quanta), atol=1e-9)
+        # alpha >= gamma support; at least one machine on.
+        assert np.all(decision.alpha >= (decision.gamma > 0))
+        assert decision.alpha.sum() >= 1
+        assert decision.expected_cost >= 0.0
+        assert decision.states_explored > 0
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(st.integers(min_value=0, max_value=3))
+    def test_failed_machine_excluded_everywhere(self, l1_shared, failed):
+        available = np.ones(4, dtype=bool)
+        available[failed] = False
+        decision = l1_shared.decide(
+            np.zeros(4),
+            np.ones(4, dtype=bool),
+            rate_hat=120.0,
+            rate_next=120.0,
+            delta=0.0,
+            work=0.0175,
+            available=available,
+        )
+        assert decision.alpha[failed] == 0
+        assert decision.gamma[failed] == 0.0

@@ -1,0 +1,174 @@
+"""Tests for bounded search, uncertainty bands, constraints, scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.core import (
+    BoxConstraint,
+    CallableConstraint,
+    ConstraintSet,
+    MultiRateScheduler,
+    expected_over_band,
+    local_search,
+    three_point_band,
+)
+
+
+class TestLocalSearch:
+    def test_finds_minimum_of_convex_chain(self):
+        # Integers with |x - 7| objective, neighbours +/-1.
+        result = local_search(
+            initial=0,
+            neighbors=lambda x: (x - 1, x + 1),
+            objective=lambda x: abs(x - 7),
+            max_iterations=20,
+        )
+        assert result.best == 7
+        assert result.best_cost == 0
+
+    def test_stops_at_local_minimum(self):
+        # Objective with local minimum at 0 for a +/-1 neighbourhood.
+        values = {-2: 5, -1: 2, 0: 1, 1: 3, 2: 0}
+        result = local_search(
+            initial=0,
+            neighbors=lambda x: tuple(v for v in (x - 1, x + 1) if v in values),
+            objective=lambda x: values[x],
+            max_iterations=10,
+        )
+        assert result.best == 0  # cannot see the global optimum at 2
+
+    def test_counts_evaluations(self):
+        result = local_search(
+            initial=0,
+            neighbors=lambda x: (x + 1,),
+            objective=lambda x: -x if x < 3 else 10,
+            max_iterations=10,
+        )
+        # initial + one neighbour per iteration until local min.
+        assert result.evaluations >= result.iterations + 1
+
+    def test_iteration_cap(self):
+        result = local_search(
+            initial=0,
+            neighbors=lambda x: (x + 1,),
+            objective=lambda x: -x,  # unbounded descent
+            max_iterations=5,
+        )
+        assert result.iterations == 5
+        assert result.best == 5
+
+    def test_rejects_bad_max_iterations(self):
+        with pytest.raises(ConfigurationError):
+            local_search(0, lambda x: (), lambda x: 0.0, max_iterations=0)
+
+
+class TestThreePointBand:
+    def test_samples(self):
+        assert np.allclose(three_point_band(10.0, 2.0), [8.0, 10.0, 12.0])
+
+    def test_floor_clipping(self):
+        assert np.allclose(three_point_band(1.0, 5.0), [0.0, 1.0, 6.0])
+
+    def test_zero_delta_degenerates(self):
+        assert np.allclose(three_point_band(5.0, 0.0), [5.0, 5.0, 5.0])
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ConfigurationError):
+            three_point_band(1.0, -1.0)
+
+
+class TestExpectedOverBand:
+    def test_plain_average(self):
+        value = expected_over_band(lambda x: x**2, mean=10.0, delta=2.0)
+        assert value == pytest.approx((64 + 100 + 144) / 3)
+
+    def test_custom_weights(self):
+        value = expected_over_band(
+            lambda x: x, mean=10.0, delta=2.0, weights=(0.25, 0.5, 0.25)
+        )
+        assert value == pytest.approx(10.0)
+
+    def test_weights_validated(self):
+        with pytest.raises(ConfigurationError):
+            expected_over_band(lambda x: x, 1.0, 1.0, weights=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            expected_over_band(lambda x: x, 1.0, 1.0, weights=(0.0, 0.0, 0.0))
+
+    def test_convexity_penalises_uncertainty(self):
+        """For convex costs the band average exceeds the point estimate."""
+        point = expected_over_band(lambda x: x**2, 10.0, 0.0)
+        banded = expected_over_band(lambda x: x**2, 10.0, 3.0)
+        assert banded > point
+
+
+class TestConstraints:
+    def test_box_bounds(self):
+        box = BoxConstraint(lower=[0.0], upper=[10.0])
+        assert box.satisfied([5.0])
+        assert not box.satisfied([-1.0])
+        assert not box.satisfied([11.0])
+
+    def test_box_one_sided(self):
+        assert BoxConstraint(lower=[0.0]).satisfied([1e9])
+        assert not BoxConstraint(upper=[1.0]).satisfied([2.0])
+
+    def test_box_needs_a_bound(self):
+        with pytest.raises(ConfigurationError):
+            BoxConstraint()
+
+    def test_box_rejects_crossed_bounds(self):
+        with pytest.raises(ConfigurationError):
+            BoxConstraint(lower=[2.0], upper=[1.0])
+
+    def test_constraint_set_conjunction(self):
+        constraints = ConstraintSet(
+            [BoxConstraint(lower=[0.0]), CallableConstraint(lambda s: s[0] < 5)]
+        )
+        assert constraints.satisfied([1.0])
+        assert not constraints.satisfied([-1.0])
+        assert not constraints.satisfied([6.0])
+        assert len(constraints) == 2
+
+    def test_empty_set_admits_everything(self):
+        assert ConstraintSet().satisfied([123.0])
+
+
+class TestMultiRateScheduler:
+    def test_paper_schedule(self):
+        # T_L0 = 30 s base; L1 every 4 ticks; L2 every 4 ticks.
+        scheduler = MultiRateScheduler()
+        scheduler.register("l0", every=1)
+        scheduler.register("l1", every=4)
+        scheduler.register("l2", every=4)
+        assert scheduler.due(0) == ["l1", "l2", "l0"] or scheduler.due(0) == [
+            "l2",
+            "l1",
+            "l0",
+        ]
+        assert scheduler.due(1) == ["l0"]
+        assert scheduler.due(4)[-1] == "l0"
+
+    def test_higher_level_first(self):
+        scheduler = MultiRateScheduler()
+        scheduler.register("fast", every=1)
+        scheduler.register("slow", every=8)
+        assert scheduler.due(0) == ["slow", "fast"]
+
+    def test_duplicate_name_rejected(self):
+        scheduler = MultiRateScheduler()
+        scheduler.register("x", every=1)
+        with pytest.raises(ConfigurationError):
+            scheduler.register("x", every=2)
+
+    def test_base_cycle_lcm(self):
+        scheduler = MultiRateScheduler()
+        scheduler.register("a", every=4)
+        scheduler.register("b", every=6)
+        assert scheduler.base_cycle == 12
+
+    def test_negative_tick_rejected(self):
+        scheduler = MultiRateScheduler()
+        scheduler.register("a", every=1)
+        with pytest.raises(ConfigurationError):
+            scheduler.due(-1)

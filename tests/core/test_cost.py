@@ -1,0 +1,110 @@
+"""Tests for norm-based costs and slack variables."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError
+from repro.core import CostWeights, SetPointCost, SlackResponseCost, weighted_norm
+
+
+class TestWeightedNorm:
+    def test_scalar_weight(self):
+        assert weighted_norm([1.0, -2.0], 2.0) == pytest.approx(6.0)
+
+    def test_vector_weight(self):
+        assert weighted_norm([1.0, -2.0], [1.0, 10.0]) == pytest.approx(21.0)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ConfigurationError):
+            weighted_norm([1.0], [-1.0])
+
+    def test_rejects_misaligned_weights(self):
+        with pytest.raises(ConfigurationError):
+            weighted_norm([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=5))
+    def test_non_negative(self, values):
+        assert weighted_norm(values, 1.0) >= 0.0
+
+
+class TestCostWeights:
+    def test_paper_defaults(self):
+        weights = CostWeights()
+        assert weights.tracking == 100.0  # Q
+        assert weights.operating == 1.0  # R
+        assert weights.switching == 8.0  # W
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            CostWeights(tracking=-1.0)
+
+
+class TestSetPointCost:
+    def test_zero_at_set_point_with_zero_control(self):
+        cost = SetPointCost([4.0], CostWeights(tracking=100.0, operating=0.0))
+        assert cost.evaluate([4.0], [0.0]) == 0.0
+
+    def test_tracking_term(self):
+        cost = SetPointCost([4.0], CostWeights(tracking=10.0, operating=0.0))
+        assert cost.evaluate([6.0], [0.0]) == pytest.approx(20.0)
+
+    def test_control_change_term(self):
+        weights = CostWeights(tracking=0.0, operating=0.0, control_change=5.0)
+        cost = SetPointCost([0.0], weights)
+        assert cost.evaluate([0.0], [1.0], previous_control=[3.0]) == pytest.approx(
+            10.0
+        )
+
+    def test_state_shape_checked(self):
+        cost = SetPointCost([4.0, 5.0], CostWeights())
+        with pytest.raises(ConfigurationError):
+            cost.evaluate([4.0], [0.0])
+
+
+class TestSlackResponseCost:
+    def test_slack_zero_below_target(self):
+        cost = SlackResponseCost(4.0, CostWeights())
+        assert cost.slack(3.0) == 0.0
+        assert cost.slack(4.0) == 0.0
+
+    def test_slack_linear_above_target(self):
+        cost = SlackResponseCost(4.0, CostWeights())
+        assert cost.slack(6.5) == pytest.approx(2.5)
+
+    def test_paper_l0_cost(self):
+        # J = Q*eps + R*psi with Q=100, R=1
+        cost = SlackResponseCost(4.0, CostWeights(tracking=100.0, operating=1.0))
+        assert cost.evaluate(5.0, 1.75) == pytest.approx(100.0 * 1.0 + 1.75)
+        assert cost.evaluate(2.0, 1.75) == pytest.approx(1.75)
+
+    def test_vectorised(self):
+        cost = SlackResponseCost(4.0, CostWeights())
+        out = cost.evaluate(np.array([3.0, 5.0]), np.array([1.0, 2.0]))
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_rejects_negative_power(self):
+        cost = SlackResponseCost(4.0, CostWeights())
+        with pytest.raises(ConfigurationError):
+            cost.evaluate(1.0, -1.0)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ConfigurationError):
+            SlackResponseCost(0.0, CostWeights())
+
+    @given(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=10),
+    )
+    def test_cost_non_negative(self, response, power):
+        cost = SlackResponseCost(4.0, CostWeights())
+        assert float(cost.evaluate(response, power)) >= 0.0
+
+    @given(st.floats(min_value=0, max_value=100))
+    def test_cost_monotone_in_response(self, response):
+        cost = SlackResponseCost(4.0, CostWeights())
+        assert float(cost.evaluate(response + 1.0, 1.0)) >= float(
+            cost.evaluate(response, 1.0)
+        )

@@ -1,0 +1,134 @@
+"""Tests for the generic lookahead controller."""
+
+import itertools
+
+import pytest
+
+from repro.common import ConfigurationError, ControlError
+from repro.core import (
+    CallableConstraint,
+    ConstraintSet,
+    ControlDecision,
+    LookaheadController,
+)
+
+
+def _integrator_step(state, control, environment):
+    """Toy model: state += control + environment; cost = |state|."""
+    next_state = state + control + environment
+    return next_state, abs(next_state)
+
+
+class TestBasicDecisions:
+    def test_drives_state_toward_zero(self):
+        controller = LookaheadController(
+            _integrator_step, controls=(-1, 0, 1), horizon=3
+        )
+        decision = controller.decide(state=2, environments=[0, 0, 0])
+        assert decision.action == -1
+
+    def test_holds_at_zero(self):
+        controller = LookaheadController(
+            _integrator_step, controls=(-1, 0, 1), horizon=3
+        )
+        assert controller.decide(0, [0, 0, 0]).action == 0
+
+    def test_compensates_known_disturbance(self):
+        controller = LookaheadController(
+            _integrator_step, controls=(-1, 0, 1), horizon=1
+        )
+        # Environment pushes +1; the controller should push -1.
+        assert controller.decide(0, [1]).action == -1
+
+    def test_matches_brute_force(self):
+        controls = (-2, -1, 0, 1, 2)
+        horizon = 3
+        environments = [1, -2, 1]
+        controller = LookaheadController(
+            _integrator_step, controls, horizon, prune=False
+        )
+        decision = controller.decide(5, environments)
+
+        def rollout_cost(sequence):
+            state, cost = 5, 0.0
+            for control, env in zip(sequence, environments):
+                state, step_cost = _integrator_step(state, control, env)
+                cost += step_cost
+            return cost
+
+        best = min(
+            itertools.product(controls, repeat=horizon), key=rollout_cost
+        )
+        assert decision.expected_cost == pytest.approx(rollout_cost(best))
+        assert decision.action == best[0]
+
+    def test_trajectory_has_horizon_length(self):
+        controller = LookaheadController(_integrator_step, (-1, 0, 1), horizon=4)
+        decision = controller.decide(1, [0, 0, 0, 0])
+        assert len(decision.trajectory) == 4
+
+
+class TestExplorationAccounting:
+    def test_exhaustive_count_matches_formula(self):
+        # Paper: states explored = sum_{q=1..N} |U|^q (without pruning).
+        controls = (0, 1, 2)
+        controller = LookaheadController(
+            lambda s, u, e: (s, 0.0), controls, horizon=3, prune=False
+        )
+        decision = controller.decide(0, [None] * 3)
+        assert decision.states_explored == 3 + 9 + 27
+
+    def test_pruning_explores_no_more(self):
+        pruned = LookaheadController(_integrator_step, (-1, 0, 1), 4, prune=True)
+        full = LookaheadController(_integrator_step, (-1, 0, 1), 4, prune=False)
+        environments = [0, 1, -1, 0]
+        a = pruned.decide(3, environments)
+        b = full.decide(3, environments)
+        assert a.states_explored <= b.states_explored
+        assert a.expected_cost == pytest.approx(b.expected_cost)
+
+
+class TestConstraintsAndErrors:
+    def test_constraint_blocks_branches(self):
+        constraints = ConstraintSet([CallableConstraint(lambda s: s <= 2, "cap")])
+        controller = LookaheadController(
+            _integrator_step, (0, 1), horizon=2, constraints=constraints
+        )
+        decision = controller.decide(1, [0, 0])
+        # Going +1 twice would hit 3 > 2, so that trajectory is cut.
+        assert max(decision.trajectory) <= 1
+
+    def test_infeasible_raises(self):
+        constraints = ConstraintSet([CallableConstraint(lambda s: False, "never")])
+        controller = LookaheadController(
+            _integrator_step, (0,), horizon=1, constraints=constraints
+        )
+        with pytest.raises(ControlError, match="no feasible trajectory"):
+            controller.decide(0, [0])
+
+    def test_negative_cost_rejected(self):
+        controller = LookaheadController(
+            lambda s, u, e: (s, -1.0), (0,), horizon=1
+        )
+        with pytest.raises(ControlError, match="non-negative"):
+            controller.decide(0, [0])
+
+    def test_short_environment_rejected(self):
+        controller = LookaheadController(_integrator_step, (0,), horizon=3)
+        with pytest.raises(ConfigurationError):
+            controller.decide(0, [0])
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LookaheadController(_integrator_step, (0,), horizon=0)
+
+
+class TestStateDependentControls:
+    def test_u_of_x(self):
+        # From even states only +1 is allowed; from odd states only 0.
+        def controls(state):
+            return (1,) if state % 2 == 0 else (0,)
+
+        controller = LookaheadController(_integrator_step, controls, horizon=2)
+        decision = controller.decide(0, [0, 0])
+        assert decision.trajectory == (1, 0)

@@ -1,0 +1,144 @@
+"""Tests for ARIMA estimation and forecasting."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError, NotTrainedError
+from repro.forecast import (
+    ArimaModel,
+    fit_ar_yule_walker,
+    fit_arma_hannan_rissanen,
+)
+
+
+def _simulate_ar(phi, n=4000, noise=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    phi = np.asarray(phi)
+    series = np.zeros(n + 200)
+    for t in range(phi.size, series.size):
+        window = series[t - phi.size : t][::-1]
+        series[t] = phi @ window + rng.normal(0, noise)
+    return series[200:]
+
+
+def _simulate_arma11(phi, theta, n=6000, noise=1.0, seed=1):
+    rng = np.random.default_rng(seed)
+    eps = rng.normal(0, noise, n + 200)
+    series = np.zeros(n + 200)
+    for t in range(1, series.size):
+        series[t] = phi * series[t - 1] + eps[t] + theta * eps[t - 1]
+    return series[200:]
+
+
+class TestYuleWalker:
+    def test_recovers_ar1(self):
+        series = _simulate_ar([0.7])
+        spec = fit_ar_yule_walker(series, 1)
+        assert spec.ar[0] == pytest.approx(0.7, abs=0.05)
+
+    def test_recovers_ar2(self):
+        series = _simulate_ar([0.5, 0.3])
+        spec = fit_ar_yule_walker(series, 2)
+        assert spec.ar[0] == pytest.approx(0.5, abs=0.07)
+        assert spec.ar[1] == pytest.approx(0.3, abs=0.07)
+
+    def test_noise_variance_positive(self):
+        spec = fit_ar_yule_walker(_simulate_ar([0.6]), 1)
+        assert spec.noise_var > 0
+
+    def test_rejects_zero_order(self):
+        with pytest.raises(ConfigurationError):
+            fit_ar_yule_walker(np.ones(100), 0)
+
+    def test_rejects_constant_series(self):
+        with pytest.raises(ConfigurationError):
+            fit_ar_yule_walker(np.ones(100), 1)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ConfigurationError):
+            fit_ar_yule_walker(np.array([1.0, 2.0]), 3)
+
+
+class TestHannanRissanen:
+    def test_recovers_arma11(self):
+        series = _simulate_arma11(0.6, 0.4)
+        spec = fit_arma_hannan_rissanen(series, 1, 1)
+        assert spec.ar[0] == pytest.approx(0.6, abs=0.1)
+        assert spec.ma[0] == pytest.approx(0.4, abs=0.15)
+
+    def test_pure_ma_falls_back_sanely(self):
+        rng = np.random.default_rng(4)
+        eps = rng.normal(0, 1, 5000)
+        series = eps[1:] + 0.5 * eps[:-1]
+        spec = fit_arma_hannan_rissanen(series, 0, 1)
+        assert spec.ma[0] == pytest.approx(0.5, abs=0.1)
+
+    def test_q_zero_delegates_to_yule_walker(self):
+        series = _simulate_ar([0.7])
+        spec = fit_arma_hannan_rissanen(series, 1, 0)
+        assert spec.q == 0
+        assert spec.ar[0] == pytest.approx(0.7, abs=0.05)
+
+    def test_rejects_degenerate_orders(self):
+        with pytest.raises(ConfigurationError):
+            fit_arma_hannan_rissanen(np.arange(100.0), 0, 0)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ConfigurationError):
+            fit_arma_hannan_rissanen(np.arange(10.0), 1, 1)
+
+
+class TestArimaModel:
+    def test_requires_fit_before_forecast(self):
+        with pytest.raises(NotTrainedError):
+            ArimaModel(p=1).forecast(1)
+
+    def test_requires_fit_before_observe(self):
+        with pytest.raises(NotTrainedError):
+            ArimaModel(p=1).observe(1.0)
+
+    def test_rejects_large_d(self):
+        with pytest.raises(ConfigurationError):
+            ArimaModel(p=1, d=3)
+
+    def test_ar1_one_step_forecast_tracks_process(self):
+        series = _simulate_ar([0.8], n=3000)
+        model = ArimaModel(p=1)
+        model.fit(series[:-200])
+        errors = []
+        for value in series[-200:]:
+            errors.append(abs(model.forecast(1)[0] - value))
+            model.observe(value)
+        # Optimal one-step MAE for AR(1) with unit noise is ~0.8; allow slack.
+        assert np.mean(errors) < 1.1
+
+    def test_d1_reintegrates_trend(self):
+        # Random walk with drift: ARIMA(1,1,0) should forecast continued drift.
+        rng = np.random.default_rng(7)
+        drift = 2.0
+        steps = drift + rng.normal(0, 0.5, 2000)
+        series = np.cumsum(steps)
+        model = ArimaModel(p=1, d=1)
+        model.fit(series)
+        forecast = model.forecast(5)
+        expected = series[-1] + drift * np.arange(1, 6)
+        assert np.allclose(forecast, expected, rtol=0.1)
+
+    def test_d2_reintegrates_quadratic(self):
+        t = np.arange(500, dtype=float)
+        series = 0.05 * t**2 + 3.0 * t + 10.0
+        model = ArimaModel(p=1, d=2)
+        model.fit(series)
+        forecast = model.forecast(3)
+        expected = 0.05 * (t[-1] + np.arange(1, 4)) ** 2 + 3.0 * (
+            t[-1] + np.arange(1, 4)
+        ) + 10.0
+        assert np.allclose(forecast, expected, rtol=0.05)
+
+    def test_observe_after_fit_shifts_forecast(self):
+        series = _simulate_ar([0.8], n=2000)
+        model = ArimaModel(p=1)
+        model.fit(series)
+        base = model.forecast(1)[0]
+        model.observe(series[-1] + 10.0)
+        assert model.forecast(1)[0] != pytest.approx(base)

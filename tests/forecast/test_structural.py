@@ -1,0 +1,98 @@
+"""Tests for structural models and the WorkloadPredictor."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.forecast import LocalLinearTrendModel, WorkloadPredictor
+
+
+class TestLocalLinearTrendModel:
+    def test_shape(self):
+        model = LocalLinearTrendModel()
+        assert model.state_dim == 2
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ConfigurationError):
+            LocalLinearTrendModel(level_var=-1.0)
+
+    def test_rejects_zero_obs_var(self):
+        with pytest.raises(ConfigurationError):
+            LocalLinearTrendModel(obs_var=0.0)
+
+
+class TestWorkloadPredictor:
+    def test_unprimed_forecast_is_zero(self):
+        predictor = WorkloadPredictor()
+        assert np.array_equal(predictor.forecast(3), np.zeros(3))
+
+    def test_first_observation_anchors_forecast(self):
+        predictor = WorkloadPredictor()
+        predictor.observe(500.0)
+        forecast = predictor.forecast(1)
+        assert forecast[0] == pytest.approx(500.0, rel=0.2)
+
+    def test_tracks_linear_trend(self):
+        predictor = WorkloadPredictor(level_var=10.0, slope_var=1.0, obs_var=10.0)
+        series = 100.0 + 5.0 * np.arange(200)
+        for v in series:
+            predictor.observe(v)
+        forecast = predictor.forecast(4)
+        expected = series[-1] + 5.0 * np.arange(1, 5)
+        assert np.allclose(forecast, expected, rtol=0.05)
+
+    def test_forecasts_never_negative(self):
+        predictor = WorkloadPredictor()
+        for v in [50.0, 10.0, 1.0, 0.0, 0.0, 0.0]:
+            predictor.observe(v)
+        assert np.all(predictor.forecast(5) >= 0.0)
+
+    def test_band_widens_with_noise(self):
+        rng = np.random.default_rng(1)
+        quiet = WorkloadPredictor()
+        noisy = WorkloadPredictor()
+        for k in range(150):
+            quiet.observe(1000.0)
+            noisy.observe(1000.0 + rng.normal(0, 200.0))
+        assert noisy.band.delta > quiet.band.delta
+
+    def test_forecast_band_grows_with_horizon(self):
+        predictor = WorkloadPredictor()
+        rng = np.random.default_rng(2)
+        for _ in range(60):
+            predictor.observe(100.0 + rng.normal(0, 10.0))
+        _, widths = predictor.forecast_band(4)
+        assert np.all(np.diff(widths) > 0)
+
+    def test_tune_on_short_segment_is_noop(self):
+        predictor = WorkloadPredictor()
+        predictor.tune_on(np.array([1.0, 2.0, 3.0]))
+        assert predictor.observations == 0
+
+    def test_tune_on_consumes_warmup(self):
+        predictor = WorkloadPredictor()
+        warmup = 100.0 + 10.0 * np.sin(np.arange(50) / 5.0)
+        predictor.tune_on(warmup)
+        assert predictor.observations == 50
+        assert predictor.forecast(1)[0] > 0
+
+    def test_tuned_predictor_beats_untuned_on_noisy_trace(self):
+        rng = np.random.default_rng(3)
+        t = np.arange(400)
+        trace = 2000 + 800 * np.sin(2 * np.pi * t / 200) + rng.normal(0, 150, t.size)
+        warmup, rest = trace[:100], trace[100:]
+
+        tuned = WorkloadPredictor()
+        tuned.tune_on(warmup)
+        errors_tuned = []
+        for v in rest:
+            errors_tuned.append(abs(tuned.forecast(1)[0] - v))
+            tuned.observe(v)
+        # The tuned filter should track within a couple noise std-devs.
+        assert np.mean(errors_tuned) < 450.0
+
+    def test_observation_counter(self):
+        predictor = WorkloadPredictor()
+        for v in [1.0, 2.0, 3.0]:
+            predictor.observe(v)
+        assert predictor.observations == 3

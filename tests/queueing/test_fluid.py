@@ -1,0 +1,112 @@
+"""Tests for the paper's fluid queue model (eqs. 5-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError
+from repro.queueing import FluidServerModel, fluid_step
+
+
+class TestFluidStep:
+    def test_underload_drains_queue(self):
+        next_queue, served = fluid_step(queue=10.0, arrivals=5.0, capacity=20.0)
+        assert next_queue == 0.0
+        assert served == 15.0
+
+    def test_overload_grows_queue(self):
+        next_queue, served = fluid_step(queue=10.0, arrivals=30.0, capacity=20.0)
+        assert next_queue == 20.0
+        assert served == 20.0
+
+    def test_vectorised_over_capacity(self):
+        next_queue, served = fluid_step(5.0, 10.0, np.array([5.0, 15.0, 50.0]))
+        assert np.allclose(next_queue, [10.0, 0.0, 0.0])
+        assert np.allclose(served, [5.0, 15.0, 15.0])
+
+    @given(
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(min_value=0, max_value=1e6),
+    )
+    def test_queue_never_negative_and_flow_conserved(self, q, a, cap):
+        next_queue, served = fluid_step(q, a, cap)
+        assert next_queue >= 0
+        assert served >= 0
+        assert float(next_queue + served) == pytest.approx(q + a, rel=1e-9, abs=1e-6)
+
+    @given(
+        st.floats(min_value=0, max_value=1e4),
+        st.floats(min_value=0, max_value=1e4),
+    )
+    def test_more_capacity_never_grows_queue(self, q, a):
+        low, _ = fluid_step(q, a, 10.0)
+        high, _ = fluid_step(q, a, 20.0)
+        assert high <= low
+
+
+class TestFluidServerModel:
+    def test_paper_equation_5(self):
+        # q(k+1) = q(k) + (lambda - phi/c) * T
+        model = FluidServerModel(base_power=0.75)
+        next_queue, _, _ = model.predict(
+            queue=100.0, arrival_rate=50.0, c=0.02, phi=0.8, period=30.0
+        )
+        expected = 100.0 + (50.0 - 0.8 / 0.02) * 30.0
+        assert next_queue == pytest.approx(max(expected, 0.0))
+
+    def test_paper_equation_6(self):
+        model = FluidServerModel()
+        response = model.response_time(queue=9.0, c=0.02, phi=0.5)
+        assert response == pytest.approx((1 + 9.0) * 0.02 / 0.5)
+
+    def test_paper_equation_7(self):
+        model = FluidServerModel(base_power=0.75)
+        assert model.power(1.0) == pytest.approx(1.75)
+        assert model.power(0.5) == pytest.approx(0.75 + 0.25)
+
+    def test_speed_factor_scales_rate_and_response(self):
+        slow = FluidServerModel(speed_factor=1.0)
+        fast = FluidServerModel(speed_factor=2.0)
+        assert fast.service_rate(1.0, 0.02) == pytest.approx(
+            2 * slow.service_rate(1.0, 0.02)
+        )
+        assert fast.response_time(0.0, 0.02, 1.0) == pytest.approx(
+            slow.response_time(0.0, 0.02, 1.0) / 2
+        )
+
+    def test_power_scale(self):
+        model = FluidServerModel(base_power=0.5, power_scale=2.0)
+        assert model.power(1.0) == pytest.approx(2.5)
+
+    def test_predict_vectorised_over_phi(self):
+        model = FluidServerModel()
+        phis = np.array([0.25, 0.5, 1.0])
+        next_queue, response, power = model.predict(10.0, 40.0, 0.02, phis, 30.0)
+        assert next_queue.shape == response.shape == power.shape == (3,)
+        # Higher phi -> smaller queue, smaller response, more power.
+        assert np.all(np.diff(next_queue) <= 0)
+        assert np.all(np.diff(power) > 0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            FluidServerModel(base_power=-1.0)
+        with pytest.raises(ConfigurationError):
+            FluidServerModel(speed_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            FluidServerModel().predict(0, 1, 0.02, 0.5, period=0.0)
+        with pytest.raises(ConfigurationError):
+            FluidServerModel().service_rate(0.5, c=0.0)
+
+    @given(
+        st.floats(min_value=0, max_value=1e4),
+        st.floats(min_value=0, max_value=500),
+        st.floats(min_value=0.005, max_value=0.1),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_response_time_positive(self, q, lam, c, phi):
+        model = FluidServerModel()
+        _, response, power = model.predict(q, lam, c, phi, 30.0)
+        assert response > 0
+        assert power >= model.base_power

@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        for command in ("fig4", "fig6", "overhead", "baselines"):
+            args = build_parser().parse_args([command])
+            assert args.command == command
+            assert args.samples > 0
+
+    def test_overrides(self):
+        args = build_parser().parse_args(["fig4", "--samples", "24", "--seed", "9"])
+        assert args.samples == 24
+        assert args.seed == 9
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestExecution:
+    def test_fig4_smoke(self, capsys):
+        assert main(["fig4", "--samples", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "computers on" in out
+        assert "mean r" in out
+
+    def test_overhead_smoke(self, capsys):
+        assert main(["overhead", "--samples", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "L1 states/period" in out

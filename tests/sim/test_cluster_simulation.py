@@ -1,0 +1,82 @@
+"""Integration tests: the full L2/L1/L0 hierarchy on a small cluster."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.cluster import paper_cluster_spec
+from repro.controllers import L1Params, L2Params
+from repro.sim import ClusterSimulation, SimulationOptions
+from repro.workload import ArrivalTrace, WC98Spec, wc98_trace
+
+
+@pytest.fixture(scope="module")
+def short_cluster_result():
+    """One short cluster run shared by the assertions below."""
+    spec = paper_cluster_spec()
+    trace = wc98_trace(WC98Spec(samples=60), seed=0)
+    capacity = sum(m.max_service_rate(0.0175) for m in spec.modules)
+    peak_rate = trace.counts.max() / trace.bin_seconds
+    trace = trace.scaled(0.6 * capacity / peak_rate)
+    simulation = ClusterSimulation(
+        spec, trace, options=SimulationOptions(warmup_intervals=12)
+    )
+    return simulation.run()
+
+
+class TestClusterRun:
+    def test_periods_and_shapes(self, short_cluster_result):
+        result = short_cluster_result
+        periods = result.periods
+        assert result.gamma_history.shape == (periods, 4)
+        assert result.per_module_on.shape == (periods, 4)
+        assert result.total_computers_on.shape == (periods,)
+        assert len(result.module_results) == 4
+
+    def test_gamma_rows_sum_to_one(self, short_cluster_result):
+        sums = short_cluster_result.gamma_history.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_gamma_on_quantised_grid(self, short_cluster_result):
+        quanta = short_cluster_result.gamma_history / 0.1
+        assert np.allclose(quanta, np.rint(quanta), atol=1e-9)
+
+    def test_total_on_consistent_with_modules(self, short_cluster_result):
+        result = short_cluster_result
+        assert np.allclose(
+            result.per_module_on.sum(axis=1), result.total_computers_on
+        )
+
+    def test_qos_met_on_average(self, short_cluster_result):
+        summary = short_cluster_result.summary()
+        assert summary.mean_response < short_cluster_result.target_response
+
+    def test_arrival_conservation_across_modules(self, short_cluster_result):
+        result = short_cluster_result
+        module_total = sum(m.arrivals.sum() for m in result.module_results)
+        assert module_total == pytest.approx(result.global_arrivals.sum())
+
+    def test_hierarchy_path_time_positive(self, short_cluster_result):
+        assert short_cluster_result.hierarchy_path_seconds() > 0
+
+    def test_l2_stats_recorded(self, short_cluster_result):
+        result = short_cluster_result
+        assert result.l2_stats.invocations == result.periods
+
+
+class TestClusterConfiguration:
+    def test_mismatched_periods_rejected(self):
+        spec = paper_cluster_spec()
+        trace = ArrivalTrace(np.full(16, 1000.0), 30.0)
+        with pytest.raises(ConfigurationError):
+            ClusterSimulation(
+                spec, trace,
+                l1_params=L1Params(period=120.0),
+                l2_params=L2Params(period=240.0),
+            )
+
+    def test_load_follows_backlog_relief(self, short_cluster_result):
+        """No module should be starved while others are overloaded: the
+        L2 spreads load, so every module serves some arrivals."""
+        for module_result in short_cluster_result.module_results:
+            assert module_result.arrivals.sum() > 0

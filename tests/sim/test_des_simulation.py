@@ -1,0 +1,91 @@
+"""End-to-end tests of the request-granular (DES) module simulation."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.cluster import paper_module_spec
+from repro.controllers import L1Controller
+from repro.sim import DiscreteEventModuleSimulation
+from repro.workload import (
+    ArrivalTrace,
+    LognormalLocality,
+    RequestStreamGenerator,
+    VirtualStore,
+)
+
+
+@pytest.fixture(scope="module")
+def behavior_maps():
+    return L1Controller(paper_module_spec()).maps
+
+
+def _generator(rate=90.0, periods=40, locality=False, seed=0):
+    rng = np.random.default_rng(seed)
+    counts = rng.poisson(rate * 30.0, periods * 4).astype(float)
+    trace = ArrivalTrace(counts, 30.0)
+    store = VirtualStore(seed=seed)
+    loc = LognormalLocality(store, seed=seed) if locality else None
+    return RequestStreamGenerator(trace, store=store, locality=loc, seed=seed)
+
+
+class TestDiscreteEventRun:
+    def test_meets_qos_on_average(self, behavior_maps):
+        simulation = DiscreteEventModuleSimulation(
+            paper_module_spec(), _generator(), behavior_maps=behavior_maps
+        )
+        result = simulation.run()
+        assert result.response_stats.mean < 4.0
+        assert result.response_stats.count > 0
+
+    def test_serves_nearly_all_requests(self, behavior_maps):
+        simulation = DiscreteEventModuleSimulation(
+            paper_module_spec(), _generator(), behavior_maps=behavior_maps
+        )
+        result = simulation.run()
+        assert result.completion_fraction > 0.98
+
+    def test_energy_positive_and_machines_tracked(self, behavior_maps):
+        simulation = DiscreteEventModuleSimulation(
+            paper_module_spec(), _generator(), behavior_maps=behavior_maps
+        )
+        result = simulation.run()
+        assert result.total_energy > 0
+        assert np.all(result.computers_on >= 1)
+        assert result.l1_stats.invocations == result.computers_on.size
+
+    def test_locality_workload_runs(self, behavior_maps):
+        simulation = DiscreteEventModuleSimulation(
+            paper_module_spec(),
+            _generator(rate=60.0, periods=20, locality=True),
+            behavior_maps=behavior_maps,
+        )
+        result = simulation.run()
+        assert result.response_stats.count > 0
+
+    def test_rejects_misbinned_generator(self, behavior_maps):
+        trace = ArrivalTrace(np.full(10, 100.0), 60.0)  # not T_L0
+        generator = RequestStreamGenerator(trace, seed=0)
+        with pytest.raises(ConfigurationError):
+            DiscreteEventModuleSimulation(
+                paper_module_spec(), generator, behavior_maps=behavior_maps
+            )
+
+    def test_agrees_with_fluid_on_machine_provisioning(self, behavior_maps):
+        """Fluid and DES engines should provision similar machine counts
+        for the same offered load."""
+        from repro.sim import ModuleSimulation, SimulationOptions
+
+        generator = _generator(rate=110.0, periods=40, seed=3)
+        des = DiscreteEventModuleSimulation(
+            paper_module_spec(), generator, behavior_maps=behavior_maps, seed=3
+        ).run()
+        fluid = ModuleSimulation(
+            paper_module_spec(),
+            generator.trace,
+            behavior_maps=behavior_maps,
+            options=SimulationOptions(warmup_intervals=8),
+        ).run()
+        assert des.computers_on.mean() == pytest.approx(
+            fluid.computers_on.mean(), abs=1.0
+        )

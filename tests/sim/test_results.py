@@ -1,0 +1,114 @@
+"""Unit tests for result containers and summary arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.controllers import ControllerStats
+from repro.sim.results import ClusterRunResult, ModuleRunResult, RunSummary
+
+
+def _module_result(
+    responses=None,
+    computers_on=None,
+    energy=(10.0, 5.0, 1.0),
+    switches=(2, 3),
+    l0_seconds=(0.001, 0.002),
+    l1_seconds=(0.01,),
+    l1_states=(100,),
+):
+    steps, m = 4, 2
+    if responses is None:
+        responses = np.array(
+            [[1.0, 2.0], [3.0, np.nan], [5.0, 1.0], [np.nan, np.nan]]
+        )
+    if computers_on is None:
+        computers_on = np.array([2.0, 1.0])
+    l0 = ControllerStats()
+    for s in l0_seconds:
+        l0.record(399, s)
+    l1 = ControllerStats()
+    for states, s in zip(l1_states, l1_seconds):
+        l1.record(states, s)
+    return ModuleRunResult(
+        l0_period=30.0,
+        l1_period=120.0,
+        computer_names=["A", "B"],
+        arrivals=np.full(steps, 100.0),
+        frequencies=np.ones((steps, m)),
+        responses=responses,
+        queues=np.zeros((steps, m)),
+        power=np.full(steps, 3.0),
+        l1_arrivals=np.array([250.0, 150.0]),
+        l1_predictions=np.array([240.0, 160.0]),
+        computers_on=computers_on,
+        target_response=4.0,
+        energy_base=energy[0],
+        energy_dynamic=energy[1],
+        energy_transient=energy[2],
+        switch_ons=switches[0],
+        switch_offs=switches[1],
+        l0_stats=l0,
+        l1_stats=l1,
+    )
+
+
+class TestModuleRunResult:
+    def test_summary_mean_ignores_nan(self):
+        summary = _module_result().summary()
+        assert summary.mean_response == pytest.approx((1 + 2 + 3 + 5 + 1) / 5)
+
+    def test_summary_violations(self):
+        summary = _module_result().summary()
+        assert summary.violation_fraction == pytest.approx(1 / 5)  # only the 5.0
+
+    def test_summary_energy_total(self):
+        summary = _module_result().summary()
+        assert summary.total_energy == pytest.approx(16.0)
+
+    def test_summary_controller_seconds(self):
+        summary = _module_result().summary()
+        assert summary.controller_seconds == pytest.approx(0.013)
+
+    def test_module_response_rowwise_nanmean(self):
+        result = _module_result()
+        assert result.module_response[0] == pytest.approx(1.5)
+        assert result.module_response[1] == pytest.approx(3.0)
+        assert np.isnan(result.module_response[3])
+
+    def test_summary_str_fields(self):
+        text = str(_module_result().summary())
+        assert "mean r" in text and "energy" in text and "switches" in text
+
+
+class TestClusterRunResult:
+    def _cluster(self):
+        modules = [_module_result(), _module_result(energy=(1.0, 1.0, 0.0))]
+        l2 = ControllerStats()
+        l2.record(2288, 0.02)
+        return ClusterRunResult(
+            l2_period=120.0,
+            module_names=["M1", "M2"],
+            global_arrivals=np.array([500.0, 300.0]),
+            global_predictions=np.array([480.0, 310.0]),
+            gamma_history=np.array([[0.5, 0.5], [0.6, 0.4]]),
+            total_computers_on=np.array([4.0, 3.0]),
+            per_module_on=np.array([[2.0, 2.0], [2.0, 1.0]]),
+            target_response=4.0,
+            module_results=modules,
+            l2_stats=l2,
+        )
+
+    def test_summary_merges_modules(self):
+        summary = self._cluster().summary()
+        assert summary.total_energy == pytest.approx(16.0 + 2.0)
+        assert summary.switch_ons == 4
+
+    def test_hierarchy_path_time(self):
+        cluster = self._cluster()
+        # L2 mean 0.02 + worst L1 mean 0.01 + worst L0 mean 0.0015 x 4.
+        assert cluster.hierarchy_path_seconds() == pytest.approx(
+            0.02 + 0.01 + 0.0015 * 4
+        )
+
+    def test_periods(self):
+        assert self._cluster().periods == 2

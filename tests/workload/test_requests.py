@@ -1,0 +1,66 @@
+"""Tests for request-level stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    ArrivalTrace,
+    LognormalLocality,
+    RequestStreamGenerator,
+    VirtualStore,
+)
+
+
+def _generator(counts=(5, 0, 12), locality=False, seed=0):
+    trace = ArrivalTrace(np.asarray(counts, dtype=float), 30.0)
+    store = VirtualStore(seed=seed)
+    loc = LognormalLocality(store, seed=seed) if locality else None
+    return RequestStreamGenerator(trace, store=store, locality=loc, seed=seed)
+
+
+class TestBinStream:
+    def test_counts_respected(self):
+        generator = _generator()
+        assert generator.bin_stream(0).count == 5
+        assert generator.bin_stream(1).count == 0
+        assert generator.bin_stream(2).count == 12
+
+    def test_times_inside_bin_and_sorted(self):
+        generator = _generator()
+        stream = generator.bin_stream(2)
+        assert np.all(stream.arrival_times >= 60.0)
+        assert np.all(stream.arrival_times <= 90.0)
+        assert np.all(np.diff(stream.arrival_times) >= 0)
+
+    def test_works_in_store_range(self):
+        stream = _generator().bin_stream(0)
+        assert np.all(stream.works >= 0.010)
+        assert np.all(stream.works <= 0.025)
+
+    def test_empty_bin_mean_work_zero(self):
+        assert _generator().bin_stream(1).mean_work == 0.0
+
+    def test_locality_mode_works(self):
+        stream = _generator(locality=True).bin_stream(2)
+        assert stream.count == 12
+
+    def test_iteration_covers_trace(self):
+        streams = list(_generator())
+        assert len(streams) == 3
+        assert sum(s.count for s in streams) == 17
+
+
+class TestMeanWorkSeries:
+    def test_length_matches_trace(self):
+        series = _generator().mean_work_series()
+        assert series.size == 3
+
+    def test_empty_bin_uses_store_mean(self):
+        generator = _generator()
+        series = generator.mean_work_series()
+        assert series[1] == pytest.approx(generator.store.mean_work)
+
+    def test_values_in_plausible_range(self):
+        series = _generator(counts=(200, 300, 400)).mean_work_series()
+        assert np.all(series > 0.010)
+        assert np.all(series < 0.025)

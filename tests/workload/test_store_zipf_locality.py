@@ -1,0 +1,128 @@
+"""Tests for the virtual store, Zipf sampling, and temporal locality."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.workload import (
+    LognormalLocality,
+    VirtualStore,
+    ZipfSampler,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert zipf_weights(100).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, exponent=1.0)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_zipf_law_slope(self):
+        """log weight vs log rank should have slope -exponent."""
+        weights = zipf_weights(1000, exponent=1.0)
+        ranks = np.arange(1, 1001)
+        slope = np.polyfit(np.log(ranks), np.log(weights), 1)[0]
+        assert slope == pytest.approx(-1.0, abs=1e-6)
+
+    def test_zero_exponent_uniform(self):
+        weights = zipf_weights(10, exponent=0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, exponent=-1.0)
+
+
+class TestZipfSampler:
+    def test_sample_range(self):
+        sampler = ZipfSampler(100, seed=0)
+        ranks = sampler.sample(1000)
+        assert ranks.min() >= 0 and ranks.max() < 100
+
+    def test_empirical_matches_theoretical(self):
+        sampler = ZipfSampler(20, seed=1)
+        ranks = sampler.sample(100_000)
+        empirical = np.bincount(ranks, minlength=20) / 100_000
+        assert np.allclose(empirical, sampler.weights, atol=0.01)
+
+    def test_zero_size(self):
+        assert ZipfSampler(10, seed=0).sample(0).size == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, seed=0).sample(-1)
+
+
+class TestVirtualStore:
+    def test_paper_defaults(self):
+        store = VirtualStore(seed=0)
+        assert store.n_objects == 10_000
+        assert store.popular_objects == 1_000
+        assert store.popular_mass == pytest.approx(0.9)
+
+    def test_work_times_in_range(self):
+        store = VirtualStore(seed=0)
+        assert store.work_seconds.min() >= 0.010
+        assert store.work_seconds.max() <= 0.025
+
+    def test_popular_set_receives_ninety_percent(self):
+        store = VirtualStore(seed=0)
+        ids = store.sample_objects(200_000, np.random.default_rng(1))
+        popular_fraction = np.mean(ids < store.popular_objects)
+        assert popular_fraction == pytest.approx(0.9, abs=0.01)
+
+    def test_popularity_sums_to_one(self):
+        assert VirtualStore(seed=0).popularity.sum() == pytest.approx(1.0)
+
+    def test_mean_work_in_range(self):
+        mean_work = VirtualStore(seed=0).mean_work
+        assert 0.010 < mean_work < 0.025
+
+    def test_work_of_validates_range(self):
+        store = VirtualStore(seed=0)
+        with pytest.raises(ConfigurationError):
+            store.work_of(np.array([10_000]))
+
+    def test_rejects_popular_set_too_large(self):
+        with pytest.raises(ConfigurationError):
+            VirtualStore(n_objects=10, popular_objects=10)
+
+    def test_rejects_bad_work_range(self):
+        with pytest.raises(ConfigurationError):
+            VirtualStore(work_range_ms=(25.0, 10.0))
+
+
+class TestLognormalLocality:
+    def test_stream_size_and_range(self):
+        store = VirtualStore(seed=0)
+        locality = LognormalLocality(store, seed=1)
+        stream = locality.sample_stream(500)
+        assert stream.size == 500
+        assert stream.min() >= 0 and stream.max() < store.n_objects
+
+    def test_locality_raises_reuse_fraction(self):
+        store = VirtualStore(seed=0)
+        with_locality = LognormalLocality(store, reuse_probability=0.5, seed=2)
+        without = LognormalLocality(store, reuse_probability=0.0, seed=2)
+        stream_loc = with_locality.sample_stream(3000)
+        stream_no = without.sample_stream(3000)
+        assert with_locality.reuse_fraction(stream_loc) > without.reuse_fraction(
+            stream_no
+        )
+
+    def test_zero_size(self):
+        locality = LognormalLocality(VirtualStore(seed=0), seed=0)
+        assert locality.sample_stream(0).size == 0
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            LognormalLocality(VirtualStore(seed=0), reuse_probability=1.5)
+
+    def test_reuse_fraction_empty_stream(self):
+        locality = LognormalLocality(VirtualStore(seed=0), seed=0)
+        assert locality.reuse_fraction(np.zeros(0, dtype=int)) == 0.0

@@ -1,0 +1,81 @@
+"""Tests for the Fig. 4 synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.workload import SyntheticWorkloadSpec, synthetic_trace
+from repro.workload.synthetic import PAPER_SEGMENTS, noise_std_per_sub_bin
+
+
+class TestSpec:
+    def test_defaults_match_paper(self):
+        spec = SyntheticWorkloadSpec()
+        assert spec.l1_samples == 1600
+        assert spec.scale == 4.0
+        assert spec.sub_bins_per_l1 == 4
+        assert spec.noise_segments == PAPER_SEGMENTS
+
+    def test_rejects_non_multiple_bins(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkloadSpec(sub_bin_seconds=50.0)
+
+
+class TestNoiseSchedule:
+    def test_segment_stds(self):
+        spec = SyntheticWorkloadSpec()
+        std = noise_std_per_sub_bin(spec)
+        assert std[0] == 200.0
+        assert std[301 * 4] == 300.0
+        assert std[1026 * 4] == 500.0
+        assert std.size == 1600 * 4
+
+
+class TestTrace:
+    def test_shape_and_granularity(self):
+        trace = synthetic_trace(seed=0)
+        assert len(trace) == 6400
+        assert trace.bin_seconds == 30.0
+
+    def test_l1_view_matches_figure_scale(self):
+        # Fig. 4: peaks near 2e4, troughs above ~2e3 per 2-minute bin.
+        trace = synthetic_trace(seed=0).rebinned(120.0)
+        assert 1.5e4 < trace.counts.max() < 3.0e4
+        assert trace.counts.min() > 1.0e3
+
+    def test_counts_non_negative(self):
+        trace = synthetic_trace(seed=1)
+        assert np.all(trace.counts >= 0)
+
+    def test_deterministic_under_seed(self):
+        a = synthetic_trace(seed=5)
+        b = synthetic_trace(seed=5)
+        assert np.array_equal(a.counts, b.counts)
+        c = synthetic_trace(seed=6)
+        assert not np.array_equal(a.counts, c.counts)
+
+    def test_noise_grows_across_segments(self):
+        """Residual dispersion should rank 200 < 300 < 500 by segment."""
+        spec = SyntheticWorkloadSpec()
+        trace = synthetic_trace(spec, seed=2)
+        quiet = synthetic_trace(
+            SyntheticWorkloadSpec(noise_segments=((0, 1600, 0.0),)), seed=2
+        )
+        residual = trace.counts - quiet.counts
+        seg1 = residual[: 300 * 4].std()
+        seg2 = residual[301 * 4 : 1025 * 4].std()
+        seg3 = residual[1026 * 4 :].std()
+        assert seg1 < seg2 < seg3
+        assert seg1 == pytest.approx(200.0, rel=0.1)
+        assert seg3 == pytest.approx(500.0, rel=0.1)
+
+    def test_diurnal_structure_has_two_peaks(self):
+        """~53 hours should show at least two distinct daily maxima."""
+        quiet = synthetic_trace(
+            SyntheticWorkloadSpec(noise_segments=((0, 1600, 0.0),)), seed=0
+        ).rebinned(120.0)
+        counts = quiet.counts
+        day1 = counts[: len(counts) // 2]
+        day2 = counts[len(counts) // 2 :]
+        assert day1.max() > 1.5 * day1.min()
+        assert day2.max() > 1.5 * day2.min()

@@ -1,0 +1,114 @@
+"""Tests for the ArrivalTrace container."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError
+from repro.workload import ArrivalTrace
+
+
+def _trace(counts=(10, 20, 30, 40), bin_seconds=30.0):
+    return ArrivalTrace(np.asarray(counts, dtype=float), bin_seconds)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        trace = _trace()
+        assert len(trace) == 4
+        assert trace.duration == pytest.approx(120.0)
+        assert trace.total == pytest.approx(100.0)
+        assert np.allclose(trace.rates, [10 / 30, 20 / 30, 1.0, 40 / 30])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalTrace(np.zeros(0), 30.0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            _trace(counts=(-1, 2))
+
+    def test_rejects_bad_bin_width(self):
+        with pytest.raises(ConfigurationError):
+            _trace(bin_seconds=0.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalTrace(np.ones((2, 2)), 30.0)
+
+
+class TestTransforms:
+    def test_scaled(self):
+        assert _trace().scaled(4.0).total == pytest.approx(400.0)
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            _trace().scaled(0.0)
+
+    def test_sliced(self):
+        sliced = _trace().sliced(1, 3)
+        assert np.allclose(sliced.counts, [20, 30])
+
+    def test_sliced_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _trace().sliced(4)
+
+    def test_rebin_coarser_sums(self):
+        coarse = _trace().rebinned(60.0)
+        assert np.allclose(coarse.counts, [30, 70])
+        assert coarse.bin_seconds == 60.0
+
+    def test_rebin_finer_splits(self):
+        fine = _trace().rebinned(15.0)
+        assert len(fine) == 8
+        assert fine.counts[0] == pytest.approx(5.0)
+        assert fine.total == pytest.approx(100.0)
+
+    def test_rebin_same_width_is_identity(self):
+        trace = _trace()
+        assert trace.rebinned(30.0) is trace
+
+    def test_rebin_non_integer_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _trace().rebinned(45.0)
+        with pytest.raises(ConfigurationError):
+            _trace().rebinned(13.0)
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_rebin_round_trip_conserves_total(self, factor):
+        trace = _trace(counts=np.arange(1, 25, dtype=float))
+        coarse = trace.rebinned(30.0 * factor)
+        assert coarse.total == pytest.approx(
+            trace.counts[: len(coarse) * factor].sum()
+        )
+
+
+class TestCsvPersistence:
+    def test_round_trip(self, tmp_path):
+        from repro.workload import ArrivalTrace
+
+        trace = _trace(counts=(10.5, 20.25, 0.0, 40.0))
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        loaded = ArrivalTrace.load_csv(path)
+        assert loaded.bin_seconds == trace.bin_seconds
+        assert np.allclose(loaded.counts, trace.counts)
+
+    def test_missing_header_rejected(self, tmp_path):
+        from repro.common import ConfigurationError
+        from repro.workload import ArrivalTrace
+
+        path = tmp_path / "bad.csv"
+        path.write_text("time_seconds,count\n0,10\n")
+        with pytest.raises(ConfigurationError):
+            ArrivalTrace.load_csv(path)
+
+    def test_synthetic_trace_round_trips(self, tmp_path):
+        from repro.workload import ArrivalTrace, synthetic_trace
+
+        trace = synthetic_trace(seed=0).sliced(0, 100)
+        path = tmp_path / "synthetic.csv"
+        trace.save_csv(path)
+        loaded = ArrivalTrace.load_csv(path)
+        assert np.allclose(loaded.counts, trace.counts, rtol=1e-5)

@@ -1,0 +1,44 @@
+"""Tests for the WC'98-shaped trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload import WC98Spec, wc98_trace
+
+
+class TestWc98Trace:
+    def test_shape_matches_figure_6(self):
+        trace = wc98_trace(seed=0)
+        assert len(trace) == 600
+        assert trace.bin_seconds == 120.0
+
+    def test_magnitude_matches_figure_6(self):
+        # Fig. 6 y-range: roughly 1e4 overnight to ~6e4 at the peak.
+        trace = wc98_trace(seed=0)
+        assert 4.5e4 < trace.counts.max() < 8e4
+        assert trace.counts.min() < 2.0e4
+
+    def test_non_negative(self):
+        assert np.all(wc98_trace(seed=3).counts >= 0)
+
+    def test_deterministic_under_seed(self):
+        assert np.array_equal(wc98_trace(seed=4).counts, wc98_trace(seed=4).counts)
+
+    def test_match_surges_visible(self):
+        """The evening surge should clearly exceed the diurnal base."""
+        spec = WC98Spec(burst_sigma=1e-6, additive_std=1e-6)
+        trace = wc98_trace(spec, seed=0)
+        hours = np.arange(len(trace)) * trace.bin_seconds / 3600.0
+        evening = trace.counts[(hours > 17.0) & (hours < 19.0)].max()
+        morning = trace.counts[(hours > 8.0) & (hours < 10.0)].max()
+        assert evening > 1.5 * morning
+
+    def test_burstiness_short_term_variability(self):
+        """Consecutive-bin relative changes should be non-trivial."""
+        trace = wc98_trace(seed=1)
+        rel_change = np.abs(np.diff(trace.counts)) / trace.counts[:-1]
+        assert np.median(rel_change) > 0.02  # a few percent bin to bin
+
+    def test_custom_span(self):
+        trace = wc98_trace(WC98Spec(samples=700), seed=0)
+        assert len(trace) == 700
