@@ -8,41 +8,46 @@ Runs the same synthetic e-commerce day through four module managers:
 * an Elnozahy-style threshold + per-machine voltage-scaling heuristic;
 * everything-on-at-max (the QoS-safe upper bound on energy).
 
-The interesting output is the energy / QoS frontier: the LLC controller
-should be near the threshold+DVFS heuristic on energy while holding the
-response-time target with far less hand-tuning, exactly the trade the
-paper claims.
+Each contender is one declarative scenario — only the ``.baseline(...)``
+call differs — so the comparison is a four-line sweep. The interesting
+output is the energy / QoS frontier: the LLC controller should be near
+the threshold+DVFS heuristic on energy while holding the response-time
+target with far less hand-tuning, exactly the trade the paper claims.
+
+The cluster-level version of this comparison (which the old API could
+not express) is one command away:
+
+    python -m repro.cli run cluster-baseline-showdown --samples 120
+    python -m repro.cli run paper/fig6-cluster16 --samples 120
 
 Run:  python examples/baseline_showdown.py
 """
 
-from repro import (
-    AlwaysOnMaxController,
-    ThresholdDvfsController,
-    ThresholdOnOffController,
-    module_experiment,
-)
+from repro import Scenario, run_scenario
 from repro.cluster import paper_module_spec
 from repro.controllers import L1Controller
 
 
 def main() -> None:
     l1_samples = 240  # 8 simulated hours
-    spec = paper_module_spec()
-    shared_maps = L1Controller(spec).maps  # train the LLC maps once
+    shared_maps = L1Controller(paper_module_spec()).maps  # train the LLC maps once
 
     contenders = {
-        "llc-hierarchy": dict(behavior_maps=shared_maps),
-        "threshold-on/off": dict(baseline=ThresholdOnOffController(spec)),
-        "threshold+dvfs": dict(baseline=ThresholdDvfsController(spec)),
-        "always-on-max": dict(baseline=AlwaysOnMaxController(spec)),
+        "llc-hierarchy": None,
+        "threshold-on/off": "threshold-on-off",
+        "threshold+dvfs": "threshold-dvfs",
+        "always-on-max": "always-on-max",
     }
 
     print(f"{'policy':>18} | {'mean r (s)':>10} | {'viol %':>7} | "
           f"{'energy':>8} | {'switches':>8} | {'avg on':>6}")
     print("-" * 72)
-    for name, kwargs in contenders.items():
-        result = module_experiment(m=4, l1_samples=l1_samples, seed=0, **kwargs)
+    for name, baseline in contenders.items():
+        builder = Scenario.module(m=4).workload("synthetic", samples=l1_samples)
+        if baseline is not None:
+            builder = builder.baseline(baseline)
+        maps = shared_maps if baseline is None else None
+        result = run_scenario(builder.build(), behavior_maps=maps)
         summary = result.summary()
         print(
             f"{name:>18} | {summary.mean_response:>10.2f} | "

@@ -3,9 +3,13 @@
 
 The framework's claim is generality: any switching hybrid system — finite
 control set, constrained state, non-negative step costs — can be managed
-by the same limited-lookahead machinery. This example controls a
-*thermal-aware batch processor*: a machine that picks one of four power
-states each minute to work through a job backlog without overheating.
+by the same limited-lookahead machinery. The declarative ``Scenario``
+API (``repro.scenario``) covers the paper's web-cluster plant; for any
+*other* plant you drop one level down to ``repro.core`` and wire the
+same lookahead machinery to your own step function, as here. This
+example controls a *thermal-aware batch processor*: a machine that picks
+one of four power states each minute to work through a job backlog
+without overheating.
 
 State:    (backlog jobs, temperature degC)
 Controls: power state in {off, low, mid, high} with different

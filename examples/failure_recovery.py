@@ -2,38 +2,44 @@
 """Autonomic recovery: failing the fastest machine mid-run.
 
 The paper motivates autonomic management with component failures. This
-scenario runs the module of four under steady load, hard-fails C4 (the
-fastest machine) one hour in, repairs it an hour later, and shows the
-L1 controller re-provisioning around the failure without operator input:
-the orphaned queue is re-dispatched, a replacement machine boots, and
-the response-time target recovers within a few control periods.
+runs the registered ``module-failover`` scenario: the module of four
+under steady load, C4 (the fastest machine) hard-fails one hour in and
+is repaired an hour later, and the L1 controller re-provisions around
+the failure without operator input — the orphaned queue is
+re-dispatched, a replacement machine boots, and the response-time
+target recovers within a few control periods.
+
+An observer streams the controller's decisions as they happen, using
+the engine's hook interface rather than post-processing result arrays.
 
 Run:  python examples/failure_recovery.py
 """
 
 import numpy as np
 
-from repro.cluster import paper_module_spec
+from repro import run_scenario
 from repro.common.ascii_chart import line_chart
-from repro.sim import ModuleSimulation, SimulationOptions
-from repro.workload import ArrivalTrace
+from repro.sim import SimulationObserver
+
+
+class ReconfigurationLog(SimulationObserver):
+    """Print a line whenever the L1 changes the on/off configuration."""
+
+    def __init__(self) -> None:
+        self._last = None
+
+    def on_l1_decision(self, event) -> None:
+        configuration = tuple(int(a) for a in event.alpha)
+        if configuration != self._last:
+            machines = "".join("#" if a else "." for a in configuration)
+            print(f"  period {event.period:>3}: machines [{machines}]")
+            self._last = configuration
 
 
 def main() -> None:
-    spec = paper_module_spec()
-    periods = 90  # 3 simulated hours at T_L1 = 2 min
-    rate = 100.0  # req/s — needs ~2-3 machines
-    trace = ArrivalTrace(np.full(periods * 4, rate * 30.0), 30.0)
-
-    fail_at = 30 * 120.0
-    repair_at = 60 * 120.0
     print("simulating 3 h: C4 fails at t=1h, repaired at t=2h ...")
-    result = ModuleSimulation(
-        spec,
-        trace,
-        options=SimulationOptions(warmup_intervals=10),
-        failure_events=((fail_at, 3, "fail"), (repair_at, 3, "repair")),
-    ).run()
+    print("L1 reconfigurations as they happen:")
+    result = run_scenario("module-failover", observers=(ReconfigurationLog(),))
 
     print()
     print(

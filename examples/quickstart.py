@@ -1,24 +1,37 @@
 #!/usr/bin/env python
-"""Quickstart: run the paper's module-of-four for four simulated hours.
+"""Quickstart: declare a scenario, run it, read the results.
 
 Builds the heterogeneous module of §4.3 (computers C1..C4 with 5-7 DVFS
 settings each), drives it with the synthetic day-scale workload, and lets
 the L1 + L0 hierarchy manage machine counts and frequencies against the
 r* = 4 s response-time target.
 
+The scenario is a frozen, validated, JSON-serialisable value — print it,
+store it, diff it, sweep it. ``run_scenario`` does the running.
+
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import module_experiment
+from repro import Scenario, run_scenario
 from repro.common.ascii_chart import line_chart, sparkline
 
 
 def main() -> None:
     # 120 L1 periods x 2 minutes = 4 simulated hours. The first call
     # trains the L1 abstraction maps offline (a few seconds).
-    result = module_experiment(m=4, l1_samples=120, seed=0)
+    scenario = (
+        Scenario.module(m=4)
+        .workload("synthetic", samples=120)
+        .seed(0)
+        .describe("module of four, 4 simulated hours")
+        .build()
+    )
+    print("scenario (JSON-serialisable):")
+    print(scenario.to_json())
+    print()
+    result = run_scenario(scenario)
 
     summary = result.summary()
     print("=== module-of-four, 4 simulated hours ===")
@@ -42,6 +55,11 @@ def main() -> None:
         f"QoS: mean response {summary.mean_response:.2f} s "
         f"against a {result.target_response:.0f} s target; "
         f"{summary.mean_computers_on:.2f} of 4 machines on average."
+    )
+    print()
+    print(
+        "try the registry next:  python -m repro.cli list-scenarios\n"
+        "                        python -m repro.cli run paper/fig4-module4 --samples 120"
     )
 
 

@@ -6,14 +6,16 @@ three-level hierarchy: the L2 controller splits the global arrival stream
 across modules (gamma_i, quantised at 0.1), each L1 picks machine on/off
 states and in-module load fractions, and each L0 picks DVFS frequencies.
 
+This is the registered ``paper/fig6-cluster16`` scenario, shortened with
+a samples override — the same thing ``python -m repro.cli run
+paper/fig6-cluster16`` runs from the shell.
+
 Run:  python examples/worldcup_cluster.py  [--samples N]
 """
 
 import argparse
 
-import numpy as np
-
-from repro import cluster_experiment
+from repro import get_scenario, run_scenario
 from repro.common.ascii_chart import line_chart, sparkline
 
 
@@ -28,7 +30,8 @@ def main() -> None:
     args = parser.parse_args()
 
     print(f"running {args.samples} two-minute periods on 16 computers ...")
-    result = cluster_experiment(p=4, samples=args.samples, seed=0)
+    scenario = get_scenario("paper/fig6-cluster16", samples=args.samples, seed=0)
+    result = run_scenario(scenario)
 
     print()
     print("=== WC'98-shaped day on the 4x4 cluster ===")
@@ -57,6 +60,12 @@ def main() -> None:
     print(
         "hierarchy path time per period "
         f"(L2 + L1 + L0 chain): {1e3 * result.hierarchy_path_seconds():.1f} ms"
+    )
+    print()
+    print(
+        "compare against the heuristic cluster (same day, every module\n"
+        "pinned to threshold+DVFS, static load split):\n"
+        f"  python -m repro.cli run cluster-baseline-showdown --samples {args.samples}"
     )
 
 

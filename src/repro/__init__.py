@@ -6,16 +6,44 @@ Computing Systems"* (ICDCS 2006): a three-level limited-lookahead control
 hierarchy that operates a heterogeneous web-server cluster in
 energy-efficient fashion while meeting a response-time target.
 
-Quick start::
+Quick start — declare a scenario, then run it::
 
-    from repro import module_experiment
+    from repro import Scenario, run_scenario
 
-    result = module_experiment(m=4, l1_samples=240)
+    spec = Scenario.module(m=4).workload("synthetic", samples=240).build()
+    result = run_scenario(spec)
     print(result.summary())
+
+Or run a registered scenario by name (``repro list-scenarios`` shows
+them all; ``repro run paper/fig6-cluster16`` does the same from the
+shell)::
+
+    from repro import run_scenario
+
+    result = run_scenario("paper/fig4-module4")
+
+Scenarios are frozen, validated, JSON-serialisable specs — store them,
+diff them, sweep them. Baselines apply at module *and* cluster level
+(``Scenario.cluster(p=4).baseline("threshold-dvfs")``), and failure
+drills are first-class (``Scenario.module().with_failures(...)`` or the
+registered ``module-failover``). Long runs can stream through observer
+hooks instead of holding whole result arrays::
+
+    from repro import run_scenario
+    from repro.sim import SimulationObserver
+
+    class Watcher(SimulationObserver):
+        def on_l1_decision(self, event):
+            print(event.period, event.alpha)
+
+    run_scenario("module-failover", observers=(Watcher(),))
 
 Package map:
 
 ==================  =====================================================
+``repro.scenario``  the public API: declarative ``ScenarioSpec`` configs,
+                    the fluent ``Scenario`` builder, the scenario
+                    registry, and ``run_scenario``
 ``repro.core``      the generic LLC framework (lookahead search, costs,
                     constraints, uncertainty bands, quantised simplexes)
 ``repro.controllers``  the L0/L1/L2 hierarchy and threshold baselines
@@ -24,8 +52,12 @@ Package map:
 ``repro.cluster``   the plant: DVFS processors, power states, modules
 ``repro.workload``  synthetic and WC'98-shaped traces, Zipf store
 ``repro.approximation``  lookup tables and CART regression trees
-``repro.sim``       multi-rate co-simulation engine and experiments
+``repro.sim``       the stepwise co-simulation engine, observer hooks,
+                    and structured results
 ==================  =====================================================
+
+The pre-1.1 entry points (``module_experiment``, ``cluster_experiment``)
+remain as deprecated shims over ``run_scenario``.
 """
 
 from repro.cluster import (
@@ -47,10 +79,24 @@ from repro.controllers import (
     L2Params,
     ThresholdDvfsController,
     ThresholdOnOffController,
+    make_baseline,
+)
+from repro.scenario import (
+    ControlSpec,
+    FaultSpec,
+    PlantSpec,
+    Scenario,
+    ScenarioSpec,
+    WorkloadSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario,
 )
 from repro.sim import (
     ClusterSimulation,
     ModuleSimulation,
+    SimulationObserver,
     SimulationOptions,
     cluster_experiment,
     module_experiment,
@@ -58,13 +104,15 @@ from repro.sim import (
 )
 from repro.workload import synthetic_trace, wc98_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlwaysOnMaxController",
     "ClusterSimulation",
     "ClusterSpec",
     "ComputerSpec",
+    "ControlSpec",
+    "FaultSpec",
     "L0Controller",
     "L0Params",
     "L1Controller",
@@ -73,15 +121,25 @@ __all__ = [
     "L2Params",
     "ModuleSimulation",
     "ModuleSpec",
+    "PlantSpec",
+    "Scenario",
+    "ScenarioSpec",
+    "SimulationObserver",
     "SimulationOptions",
     "ThresholdDvfsController",
     "ThresholdOnOffController",
+    "WorkloadSpec",
     "cluster_experiment",
+    "get_scenario",
+    "list_scenarios",
+    "make_baseline",
     "module_experiment",
     "overhead_experiment",
     "paper_cluster_spec",
     "paper_module_spec",
     "processor_profile",
+    "register_scenario",
+    "run_scenario",
     "scaled_module_spec",
     "synthetic_trace",
     "wc98_trace",

@@ -1,6 +1,16 @@
-"""Command-line entry point: ``python -m repro.cli <experiment>``.
+"""Command-line entry point: ``python -m repro.cli <command>``.
 
-Lets a user regenerate the paper's experiments without writing code:
+The scenario-first interface runs any registered scenario by name:
+
+.. code-block:: bash
+
+    python -m repro.cli list-scenarios      # what can I run?
+    python -m repro.cli run paper/fig4-module4 --samples 240
+    python -m repro.cli run paper/fig6-cluster16
+    python -m repro.cli run cluster-baseline-showdown --samples 120
+    python -m repro.cli run module-failover --progress
+
+The legacy figure commands remain as aliases over the registry:
 
 .. code-block:: bash
 
@@ -8,7 +18,6 @@ Lets a user regenerate the paper's experiments without writing code:
     python -m repro.cli fig6               # WC'98 day on 16 computers (Figs. 6/7)
     python -m repro.cli overhead           # §4.3 controller-overhead table
     python -m repro.cli baselines          # LLC vs threshold heuristics
-    python -m repro.cli fig4 --samples 240 --seed 7
 """
 
 from __future__ import annotations
@@ -19,31 +28,40 @@ import sys
 import numpy as np
 
 from repro.common.ascii_chart import line_chart, sparkline
-from repro.sim.experiments import (
-    cluster_experiment,
-    module_experiment,
-    overhead_experiment,
-)
+from repro.scenario import get_scenario, list_scenarios, run_scenario
+from repro.sim.observers import ProgressObserver
+from repro.sim.results import ClusterRunResult, ModuleRunResult
 
 
-def _cmd_fig4(args: argparse.Namespace) -> None:
-    result = module_experiment(m=4, l1_samples=args.samples, seed=args.seed)
-    print(line_chart(result.l1_arrivals, title="arrivals per 2-min period", height=8))
+def _render_module_result(
+    result: ModuleRunResult,
+    arrivals_title: str = "arrivals per control period",
+    before_summary=None,
+) -> None:
+    m = len(result.computer_names)
+    print(line_chart(result.l1_arrivals, title=arrivals_title, height=8))
     print()
-    print(line_chart(result.computers_on, title="computers on (of 4)", height=5))
+    print(
+        line_chart(result.computers_on, title=f"computers on (of {m})", height=5)
+    )
     print()
-    c4 = result.computer_names.index("M1.C4")
-    print(line_chart(result.frequencies[:, c4], title="C4 frequency (GHz)", height=5))
-    print()
+    if before_summary is not None:
+        before_summary()
+        print()
     print(result.summary())
 
 
-def _cmd_fig6(args: argparse.Namespace) -> None:
-    result = cluster_experiment(p=4, samples=args.samples, seed=args.seed)
-    print(line_chart(result.global_arrivals, title="WC'98 arrivals per 2-min", height=8))
+def _render_cluster_result(
+    result: ClusterRunResult,
+    arrivals_title: str = "global arrivals per period",
+) -> None:
+    n = sum(len(m.computer_names) for m in result.module_results)
+    print(line_chart(result.global_arrivals, title=arrivals_title, height=8))
     print()
     print(
-        line_chart(result.total_computers_on, title="computers on (of 16)", height=6)
+        line_chart(
+            result.total_computers_on, title=f"computers on (of {n})", height=6
+        )
     )
     print()
     print("per-module gamma_i:")
@@ -51,10 +69,65 @@ def _cmd_fig6(args: argparse.Namespace) -> None:
         print(f"  {name}: {sparkline(result.gamma_history[:, i], width=60)}")
     print()
     print(result.summary())
-    print(f"hierarchy path time: {1e3 * result.hierarchy_path_seconds():.1f} ms/period")
+    print(
+        f"hierarchy path time: "
+        f"{1e3 * result.hierarchy_path_seconds():.1f} ms/period"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    scenario = get_scenario(args.scenario, samples=args.samples, seed=args.seed)
+    observers = (ProgressObserver(every=args.progress),) if args.progress else ()
+    result = run_scenario(scenario, observers=observers)
+    print(f"=== {scenario.name or args.scenario} ===")
+    if scenario.description:
+        print(scenario.description)
+        print()
+    if isinstance(result, ClusterRunResult):
+        _render_cluster_result(result)
+    else:
+        _render_module_result(result)
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> None:
+    rows = list_scenarios()
+    width = max(len(row.name) for row in rows)
+    for row in rows:
+        print(f"{row.name:<{width}}  {row.description}")
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    scenario = get_scenario(
+        "paper/fig4-module4", samples=args.samples, seed=args.seed
+    )
+    result = run_scenario(scenario)
+
+    def c4_frequency_chart() -> None:
+        c4 = result.computer_names.index("M1.C4")
+        print(
+            line_chart(
+                result.frequencies[:, c4], title="C4 frequency (GHz)", height=5
+            )
+        )
+
+    _render_module_result(
+        result,
+        arrivals_title="arrivals per 2-min period",
+        before_summary=c4_frequency_chart,
+    )
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    scenario = get_scenario(
+        "paper/fig6-cluster16", samples=args.samples, seed=args.seed
+    )
+    result = run_scenario(scenario)
+    _render_cluster_result(result, arrivals_title="WC'98 arrivals per 2-min")
 
 
 def _cmd_overhead(args: argparse.Namespace) -> None:
+    from repro.sim.experiments import overhead_experiment
+
     print(f"{'m':>4} | {'L1 states/period':>16} | {'combined L0+L1 (s)':>18}")
     print("-" * 46)
     for m in (4, 6, 10):
@@ -68,25 +141,25 @@ def _cmd_overhead(args: argparse.Namespace) -> None:
 
 
 def _cmd_baselines(args: argparse.Namespace) -> None:
-    from repro.cluster import paper_module_spec
-    from repro.controllers import (
-        AlwaysOnMaxController,
-        ThresholdDvfsController,
-        ThresholdOnOffController,
-    )
+    from repro.scenario import Scenario
 
     policies = {
-        "llc-hierarchy": {},
-        "threshold-on/off": {"baseline": ThresholdOnOffController(paper_module_spec())},
-        "threshold+dvfs": {"baseline": ThresholdDvfsController(paper_module_spec())},
-        "always-on-max": {"baseline": AlwaysOnMaxController(paper_module_spec())},
+        "llc-hierarchy": None,
+        "threshold-on/off": "threshold-on-off",
+        "threshold+dvfs": "threshold-dvfs",
+        "always-on-max": "always-on-max",
     }
     print(f"{'policy':>18} | {'mean r':>6} | {'energy':>9} | {'avg on':>6}")
     print("-" * 50)
-    for name, kwargs in policies.items():
-        summary = module_experiment(
-            m=4, l1_samples=args.samples, seed=args.seed, **kwargs
-        ).summary()
+    for name, baseline in policies.items():
+        builder = (
+            Scenario.module(m=4)
+            .workload("synthetic", samples=args.samples)
+            .seed(args.seed)
+        )
+        if baseline is not None:
+            builder = builder.baseline(baseline)
+        summary = run_scenario(builder.build()).summary()
         print(
             f"{name:>18} | {summary.mean_response:>6.2f} | "
             f"{summary.total_energy:>9.0f} | {summary.mean_computers_on:>6.2f}"
@@ -104,9 +177,28 @@ _COMMANDS = {
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
-        prog="repro", description="Reproduce the ICDCS'06 LLC experiments."
+        prog="repro", description="Reproduce and extend the ICDCS'06 LLC experiments."
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="run a registered scenario by name"
+    )
+    run.add_argument("scenario", help="scenario name (see list-scenarios)")
+    run.add_argument(
+        "--samples", type=int, default=None,
+        help="override the run length in control periods",
+    )
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument(
+        "--progress", type=int, nargs="?", const=30, default=0,
+        metavar="N", help="report progress every N control periods",
+    )
+
+    subparsers.add_parser(
+        "list-scenarios", help="list the registered scenarios"
+    )
+
     for name, (_, default_samples) in _COMMANDS.items():
         sub = subparsers.add_parser(name)
         sub.add_argument(
@@ -119,9 +211,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.common.errors import ConfigurationError
+
     args = build_parser().parse_args(argv)
-    handler, _ = _COMMANDS[args.command]
-    handler(args)
+    try:
+        if args.command == "run":
+            _cmd_run(args)
+        elif args.command == "list-scenarios":
+            _cmd_list_scenarios(args)
+        else:
+            handler, _ = _COMMANDS[args.command]
+            handler(args)
+    except ConfigurationError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 

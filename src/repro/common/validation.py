@@ -47,6 +47,54 @@ def require_in(value: object, options: Iterable[object], name: str) -> object:
     return value
 
 
+def require_failure_events(
+    events: Iterable[object],
+    size: int | None = None,
+    name: str = "failure_events",
+) -> "tuple[tuple[float, int, str], ...]":
+    """Validate a sequence of failure-injection events.
+
+    Each event is a ``(time_seconds, computer_index, 'fail'|'repair')``
+    tuple with a non-negative time and, when ``size`` is given, a
+    computer index within ``[0, size)``. Returns the normalised tuple
+    (times as floats, indices as ints). Shared by the declarative
+    ``FaultSpec`` and the simulation engine so both reject the same
+    malformed inputs.
+    """
+    validated = []
+    for event in events:
+        if not isinstance(event, Sequence) or len(event) != 3:
+            raise ConfigurationError(
+                f"{name} entries are (time_seconds, computer_index, "
+                f"'fail'|'repair') tuples, got {event!r}"
+            )
+        time, index, kind = event
+        if kind not in ("fail", "repair"):
+            raise ConfigurationError(
+                f"{name} kind must be 'fail' or 'repair', got {kind!r}"
+            )
+        try:
+            time = float(time)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"{name} time must be a number, got {event[0]!r}"
+            ) from None
+        if not time >= 0:
+            raise ConfigurationError(f"{name} time must be >= 0, got {time!r}")
+        if not isinstance(index, (int, np.integer)) or isinstance(index, bool):
+            raise ConfigurationError(
+                f"{name} computer index must be an integer, got {index!r}"
+            )
+        index = int(index)
+        if index < 0 or (size is not None and index >= size):
+            bound = f"[0, {size})" if size is not None else ">= 0"
+            raise ConfigurationError(
+                f"{name} computer index must be in {bound}, got {index}"
+            )
+        validated.append((time, index, kind))
+    return tuple(validated)
+
+
 def require_probability_vector(
     values: Sequence[float], name: str, atol: float = 1e-6
 ) -> np.ndarray:

@@ -12,10 +12,12 @@
 """
 
 from repro.controllers.baselines import (
+    BASELINES,
     AlwaysOnMaxController,
     BaselineDecision,
     ThresholdDvfsController,
     ThresholdOnOffController,
+    make_baseline,
 )
 from repro.controllers.l0 import L0Controller, L0Decision
 from repro.controllers.l1 import ComputerBehaviorMap, L1Controller, L1Decision
@@ -25,6 +27,7 @@ from repro.controllers.stats import ControllerStats
 
 __all__ = [
     "AlwaysOnMaxController",
+    "BASELINES",
     "BaselineDecision",
     "ComputerBehaviorMap",
     "ControllerStats",
@@ -39,5 +42,6 @@ __all__ = [
     "L2Params",
     "ModuleCostMap",
     "ThresholdDvfsController",
+    "make_baseline",
     "ThresholdOnOffController",
 ]

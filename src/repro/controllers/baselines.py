@@ -79,6 +79,36 @@ class _BaselineBase:
         return quantize_to_simplex(weights, self.gamma_step)
 
 
+#: Registered baseline policies, addressable by name from declarative
+#: configs (``ControlSpec.baseline``) and the cluster engine.
+BASELINES: "dict[str, type]" = {}
+
+
+def register_baseline(name: str):
+    """Class decorator: register a baseline controller under ``name``."""
+
+    def decorator(cls):
+        BASELINES[name] = cls
+        cls.baseline_name = name
+        return cls
+
+    return decorator
+
+
+def make_baseline(name: str, module_spec: ModuleSpec, **params) -> _BaselineBase:
+    """Instantiate a registered baseline policy for ``module_spec``.
+
+    ``name`` is one of :data:`BASELINES` (e.g. ``"threshold-dvfs"``);
+    ``params`` are forwarded to the controller's constructor.
+    """
+    if name not in BASELINES:
+        raise ConfigurationError(
+            f"unknown baseline {name!r}; registered: {sorted(BASELINES)}"
+        )
+    return BASELINES[name](module_spec, **params)
+
+
+@register_baseline("always-on-max")
 class AlwaysOnMaxController(_BaselineBase):
     """All machines on, all at maximum frequency."""
 
@@ -95,6 +125,7 @@ class AlwaysOnMaxController(_BaselineBase):
         return decision
 
 
+@register_baseline("threshold-on-off")
 class ThresholdOnOffController(_BaselineBase):
     """Utilisation-threshold machine provisioning at full frequency.
 
@@ -150,6 +181,7 @@ class ThresholdOnOffController(_BaselineBase):
         return decision
 
 
+@register_baseline("threshold-dvfs")
 class ThresholdDvfsController(ThresholdOnOffController):
     """Threshold on/off combined with per-machine voltage scaling.
 

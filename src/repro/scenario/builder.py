@@ -1,0 +1,186 @@
+"""Fluent construction of :class:`~repro.scenario.spec.ScenarioSpec`.
+
+The builder validates every call eagerly — a typo'd workload kind or
+baseline name fails at the call site, not deep inside a run::
+
+    from repro.scenario import Scenario
+
+    spec = (
+        Scenario.module(m=4)
+        .workload("synthetic", samples=240)
+        .baseline("threshold-dvfs")
+        .seed(3)
+        .build()
+    )
+
+    spec = (
+        Scenario.cluster(p=4)
+        .workload("wc98", samples=300)
+        .with_failures()  # no-op; failures are module-level today
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import require_failure_events, require_in
+from repro.controllers.baselines import BASELINES
+from repro.scenario.spec import (
+    HIERARCHY_MODE,
+    WORKLOAD_KINDS,
+    ControlSpec,
+    FaultSpec,
+    PlantSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+
+class Scenario:
+    """Fluent builder for :class:`ScenarioSpec`.
+
+    Start from :meth:`Scenario.module` or :meth:`Scenario.cluster`; every
+    method validates its arguments immediately and returns the builder,
+    so calls chain. :meth:`build` produces the frozen spec (which
+    re-validates the whole as a unit).
+    """
+
+    def __init__(self, plant: PlantSpec) -> None:
+        self._plant = plant
+        self._workload: WorkloadSpec | None = None
+        self._control = ControlSpec()
+        self._faults = FaultSpec()
+        self._seed = 0
+        self._name = ""
+        self._description = ""
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def module(cls, m: int = 4) -> "Scenario":
+        """A single-module scenario of ``m`` computers (§4.3 family)."""
+        return cls(PlantSpec(kind="module", m=m))
+
+    @classmethod
+    def cluster(cls, p: int = 4, computers_per_module: int = 4) -> "Scenario":
+        """A cluster scenario of ``p`` modules (§5.2 family)."""
+        return cls(
+            PlantSpec(
+                kind="cluster", p=p, computers_per_module=computers_per_module
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Fluent configuration
+    # ------------------------------------------------------------------
+
+    def workload(
+        self,
+        kind: str,
+        samples: int | None = None,
+        rate: float | None = None,
+        scale: float | None = None,
+        seed: int | None = None,
+    ) -> "Scenario":
+        """Select the driving workload; ``seed`` also sets the run seed."""
+        require_in(kind, WORKLOAD_KINDS, "workload kind")
+        self._workload = WorkloadSpec(
+            kind=kind, samples=samples, rate=rate, scale=scale
+        )
+        if seed is not None:
+            self.seed(seed)
+        return self
+
+    def baseline(self, name: str, **params) -> "Scenario":
+        """Pin the plant to a registered heuristic baseline policy."""
+        require_in(name, tuple(BASELINES), "baseline")
+        self._control = replace(
+            self._control, mode=name, baseline_params=dict(params)
+        )
+        return self
+
+    def hierarchy(self) -> "Scenario":
+        """Use the paper's LLC hierarchy (the default)."""
+        self._control = replace(
+            self._control, mode=HIERARCHY_MODE, baseline_params={}
+        )
+        return self
+
+    def control(
+        self,
+        l0: dict | None = None,
+        l1: dict | None = None,
+        l2: dict | None = None,
+        warmup_intervals: int | None = None,
+        mean_work: float | None = None,
+    ) -> "Scenario":
+        """Override controller parameters and simulation knobs."""
+        updates: dict = {}
+        if l0 is not None:
+            updates["l0"] = dict(l0)
+        if l1 is not None:
+            updates["l1"] = dict(l1)
+        if l2 is not None:
+            updates["l2"] = dict(l2)
+        if warmup_intervals is not None:
+            updates["warmup_intervals"] = warmup_intervals
+        if mean_work is not None:
+            updates["mean_work"] = mean_work
+        self._control = replace(self._control, **updates)
+        return self
+
+    def with_failures(
+        self, *events: "tuple[float, int, str]"
+    ) -> "Scenario":
+        """Inject ``(time_seconds, computer_index, 'fail'|'repair')`` events."""
+        validated = require_failure_events(
+            events, self._plant.module_size, "fault events"
+        )
+        self._faults = FaultSpec(events=self._faults.events + validated)
+        return self
+
+    def seed(self, seed: int) -> "Scenario":
+        """Set the run's random seed."""
+        if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+            raise ConfigurationError(
+                f"seed must be a non-negative int, got {seed!r}"
+            )
+        self._seed = seed
+        return self
+
+    def named(self, name: str) -> "Scenario":
+        """Attach a registry-style name."""
+        self._name = str(name)
+        return self
+
+    def describe(self, description: str) -> "Scenario":
+        """Attach a human-readable description."""
+        self._description = str(description)
+        return self
+
+    # ------------------------------------------------------------------
+    # Terminal
+    # ------------------------------------------------------------------
+
+    def build(self) -> ScenarioSpec:
+        """Produce the frozen, fully-validated :class:`ScenarioSpec`."""
+        workload = self._workload
+        if workload is None:
+            # Paper pairings: the synthetic day drives modules, the
+            # WC'98 day drives clusters.
+            kind = "synthetic" if self._plant.kind == "module" else "wc98"
+            workload = WorkloadSpec(kind=kind)
+        return ScenarioSpec(
+            name=self._name,
+            description=self._description,
+            plant=self._plant,
+            workload=workload,
+            control=self._control,
+            faults=self._faults,
+            seed=self._seed,
+        )

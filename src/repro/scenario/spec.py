@@ -1,0 +1,326 @@
+"""Declarative scenario descriptions.
+
+A :class:`ScenarioSpec` is a frozen, eagerly-validated value object that
+fully describes one experiment: the plant (:class:`PlantSpec`), the
+workload that drives it (:class:`WorkloadSpec`), the control policy and
+its parameters (:class:`ControlSpec`), and any injected faults
+(:class:`FaultSpec`). Scenarios serialise to plain dicts (and JSON) and
+back without loss, so they can be stored in files, diffed, swept, and
+shipped to remote runners. The imperative side lives in
+:mod:`repro.scenario.runner`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import (
+    require_failure_events,
+    require_in,
+    require_non_negative,
+    require_positive,
+)
+from repro.controllers.baselines import BASELINES
+from repro.controllers.params import L0Params, L1Params, L2Params
+
+#: Plant families a scenario can instantiate.
+PLANT_KINDS = ("module", "cluster")
+
+#: Workload generators a scenario can reference by name.
+WORKLOAD_KINDS = ("synthetic", "wc98", "steady")
+
+#: Control modes: the full LLC hierarchy or any registered baseline.
+HIERARCHY_MODE = "hierarchy"
+
+#: Default trace lengths (in 2-minute control periods) per workload kind.
+DEFAULT_SAMPLES = {"synthetic": 1600, "wc98": 600, "steady": 90}
+
+
+@dataclass(frozen=True)
+class PlantSpec:
+    """Which system the scenario runs.
+
+    ``kind = "module"`` builds the §4.3 heterogeneous module of ``m``
+    computers (the paper's exact module for ``m = 4``, the C1..C4
+    profile cycle otherwise); ``kind = "cluster"`` builds the §5.2
+    cluster of ``p`` modules with ``computers_per_module`` machines each.
+    """
+
+    kind: str = "module"
+    m: int = 4
+    p: int = 4
+    computers_per_module: int = 4
+
+    def __post_init__(self) -> None:
+        require_in(self.kind, PLANT_KINDS, "plant.kind")
+        require_positive(self.m, "plant.m")
+        require_positive(self.p, "plant.p")
+        require_positive(self.computers_per_module, "plant.computers_per_module")
+
+    @property
+    def module_size(self) -> int:
+        """Computers per module."""
+        return self.m if self.kind == "module" else self.computers_per_module
+
+    @property
+    def computer_count(self) -> int:
+        """Total computers in the plant."""
+        if self.kind == "module":
+            return self.m
+        return self.p * self.computers_per_module
+
+    def build(self):
+        """Instantiate the concrete :class:`ModuleSpec`/:class:`ClusterSpec`."""
+        from repro.cluster.specs import (
+            paper_cluster_spec,
+            paper_module_spec,
+            scaled_module_spec,
+        )
+
+        if self.kind == "module":
+            return paper_module_spec() if self.m == 4 else scaled_module_spec(self.m)
+        return paper_cluster_spec(
+            p=self.p, computers_per_module=self.computers_per_module
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which arrival trace drives the plant.
+
+    ``samples`` is the length in 2-minute control periods (``None``
+    picks the paper's span for the kind). ``rate`` (requests/s) is
+    required for the ``steady`` kind. ``scale`` multiplies the trace;
+    ``None`` means automatic capacity planning for cluster runs and no
+    scaling otherwise.
+    """
+
+    kind: str = "synthetic"
+    samples: int | None = None
+    rate: float | None = None
+    scale: float | None = None
+
+    def __post_init__(self) -> None:
+        require_in(self.kind, WORKLOAD_KINDS, "workload.kind")
+        if self.samples is not None:
+            require_positive(self.samples, "workload.samples")
+        if self.scale is not None:
+            require_positive(self.scale, "workload.scale")
+        if self.kind == "steady":
+            if self.rate is None:
+                raise ConfigurationError(
+                    "steady workloads need an arrival rate (requests/s)"
+                )
+            require_positive(self.rate, "workload.rate")
+        elif self.rate is not None:
+            raise ConfigurationError(
+                f"workload.rate only applies to 'steady', not {self.kind!r}"
+            )
+
+    @property
+    def resolved_samples(self) -> int:
+        """Trace length in control periods with kind defaults applied."""
+        if self.samples is not None:
+            return self.samples
+        return DEFAULT_SAMPLES[self.kind]
+
+
+def _params_or_raise(cls, overrides: dict, name: str):
+    """Build a params dataclass from override kwargs, eagerly."""
+    try:
+        return cls(**overrides)
+    except TypeError as error:
+        raise ConfigurationError(f"invalid {name} overrides: {error}") from None
+
+
+@dataclass(frozen=True)
+class ControlSpec:
+    """Which policy manages the plant, and with what parameters.
+
+    ``mode`` is ``"hierarchy"`` (the paper's L2/L1/L0 stack) or any
+    registered baseline name (``"always-on-max"``, ``"threshold-on-off"``,
+    ``"threshold-dvfs"``); baselines now apply at cluster level too, with
+    every module pinned to the policy. The ``l0``/``l1``/``l2`` dicts
+    override individual fields of :class:`L0Params`/:class:`L1Params`/
+    :class:`L2Params` and are validated eagerly on construction.
+    """
+
+    mode: str = HIERARCHY_MODE
+    baseline_params: dict = field(default_factory=dict)
+    l0: dict = field(default_factory=dict)
+    l1: dict = field(default_factory=dict)
+    l2: dict = field(default_factory=dict)
+    warmup_intervals: int = 48
+    mean_work: float = 0.0175
+
+    def __post_init__(self) -> None:
+        modes = (HIERARCHY_MODE, *BASELINES)
+        require_in(self.mode, modes, "control.mode")
+        if self.baseline_params and self.mode == HIERARCHY_MODE:
+            raise ConfigurationError(
+                "control.baseline_params given but control.mode is 'hierarchy'"
+            )
+        require_non_negative(self.warmup_intervals, "control.warmup_intervals")
+        require_positive(self.mean_work, "control.mean_work")
+        # Validate the overrides eagerly (and the values they carry).
+        _params_or_raise(L0Params, self.l0, "L0Params")
+        _params_or_raise(L1Params, self.l1, "L1Params")
+        _params_or_raise(L2Params, self.l2, "L2Params")
+
+    @property
+    def is_baseline(self) -> bool:
+        """True when a heuristic baseline replaces the hierarchy."""
+        return self.mode != HIERARCHY_MODE
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Failure/repair events to inject during the run.
+
+    Events are ``(time_seconds, computer_index, 'fail'|'repair')``
+    tuples, validated on construction (non-negative times, integral
+    indices). The index range against the concrete plant is checked by
+    :class:`ScenarioSpec`, which knows the module size.
+    """
+
+    events: "tuple[tuple[float, int, str], ...]" = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "events", require_failure_events(self.events, None, "fault events")
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described, serialisable experiment."""
+
+    name: str = ""
+    description: str = ""
+    plant: PlantSpec = field(default_factory=PlantSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    control: ControlSpec = field(default_factory=ControlSpec)
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.seed, int)
+            or isinstance(self.seed, bool)
+            or self.seed < 0
+        ):
+            raise ConfigurationError(
+                f"seed must be a non-negative int, got {self.seed!r}"
+            )
+        if self.faults:
+            if self.plant.kind != "module":
+                raise ConfigurationError(
+                    "fault injection is currently supported for module "
+                    "plants only"
+                )
+            if self.control.is_baseline:
+                raise ConfigurationError(
+                    "fault injection is supported in hierarchy mode only"
+                )
+            require_failure_events(
+                self.faults.events, self.plant.module_size, "fault events"
+            )
+            # Events beyond the trace would silently never fire — a
+            # shortened failover drill must fail loudly, not read as a
+            # healthy run (e.g. `--samples` overrides on module-failover).
+            period = float(self.control.l1.get("period", 120.0))
+            duration = self.workload.resolved_samples * period
+            latest = max(event[0] for event in self.faults.events)
+            if latest >= duration:
+                raise ConfigurationError(
+                    f"fault event at t={latest:.0f}s falls beyond the "
+                    f"{duration:.0f}s trace "
+                    f"({self.workload.resolved_samples} control periods); "
+                    "lengthen workload.samples or drop the event"
+                )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; JSON-safe and loss-free."""
+        payload = dataclasses.asdict(self)
+        payload["faults"]["events"] = [
+            list(event) for event in self.faults.events
+        ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (validates again)."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"scenario payload must be a dict, got {type(payload).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario fields: {sorted(unknown)}"
+            )
+        data = dict(payload)
+        for key, sub_cls in (
+            ("plant", PlantSpec),
+            ("workload", WorkloadSpec),
+            ("control", ControlSpec),
+        ):
+            if key in data and isinstance(data[key], dict):
+                try:
+                    data[key] = sub_cls(**data[key])
+                except TypeError as error:
+                    raise ConfigurationError(
+                        f"invalid scenario {key!r} payload: {error}"
+                    ) from None
+        if "faults" in data and isinstance(data["faults"], dict):
+            events = tuple(
+                tuple(event) for event in data["faults"].get("events", ())
+            )
+            data["faults"] = FaultSpec(events=events)
+        try:
+            return cls(**data)
+        except TypeError as error:
+            raise ConfigurationError(f"invalid scenario payload: {error}") from None
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"invalid scenario JSON: {error}") from None
+        return cls.from_dict(payload)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def with_overrides(
+        self, samples: int | None = None, seed: int | None = None
+    ) -> "ScenarioSpec":
+        """A copy with the run length and/or seed replaced.
+
+        These are the two knobs the CLI and tests routinely shorten;
+        everything else requires building a new spec.
+        """
+        spec = self
+        if samples is not None:
+            spec = replace(spec, workload=replace(spec.workload, samples=samples))
+        if seed is not None:
+            spec = replace(spec, seed=seed)
+        return spec

@@ -4,11 +4,14 @@
 the fluid plant advances in T_L0 periods, the L0 controllers pick
 frequencies every period, and the L1 controller (or a heuristic baseline)
 re-decides alpha/gamma every T_L1. :class:`~repro.sim.engine.ClusterSimulation`
-composes several modules under an L2 controller (Fig. 2a).
+composes several modules under an L2 controller (Fig. 2a) — or, with
+``baseline=``, pins every module to a heuristic policy.
 
-:mod:`~repro.sim.experiments` packages the paper's §4.3 and §5.2
-experiment configurations; results come back as structured time series
-(:mod:`~repro.sim.results`) that the benchmark harness renders.
+Both follow a stepwise protocol (``reset``/``step``/``advance_period``/
+``finish``) with observer hooks (:mod:`~repro.sim.observers`); results
+come back as structured time series (:mod:`~repro.sim.results`).
+The deprecated :mod:`~repro.sim.experiments` wrappers shim the paper's
+§4.3/§5.2 configurations onto the scenario API.
 """
 
 from repro.sim.des import DiscreteEventModuleSimulation, DiscreteEventRunResult
@@ -18,6 +21,16 @@ from repro.sim.experiments import (
     module_experiment,
     overhead_experiment,
 )
+from repro.sim.observers import (
+    HookCounter,
+    L1DecisionEvent,
+    L2DecisionEvent,
+    ObserverList,
+    PeriodEvent,
+    ProgressObserver,
+    SimulationObserver,
+    StepEvent,
+)
 from repro.sim.results import ClusterRunResult, ModuleRunResult, RunSummary
 
 __all__ = [
@@ -25,10 +38,18 @@ __all__ = [
     "ClusterSimulation",
     "DiscreteEventModuleSimulation",
     "DiscreteEventRunResult",
+    "HookCounter",
+    "L1DecisionEvent",
+    "L2DecisionEvent",
     "ModuleRunResult",
     "ModuleSimulation",
+    "ObserverList",
+    "PeriodEvent",
+    "ProgressObserver",
     "RunSummary",
+    "SimulationObserver",
     "SimulationOptions",
+    "StepEvent",
     "cluster_experiment",
     "module_experiment",
     "overhead_experiment",

@@ -12,25 +12,49 @@ The engine advances the fluid plant in T_L0 periods. Within each period:
 
 :class:`ClusterSimulation` stacks an L2 controller on top: at T_L2
 boundaries it observes aggregate module states and global arrivals and
-re-divides the workload across modules.
+re-divides the workload across modules. Passing ``baseline=`` pins every
+module to a heuristic policy instead (static capacity-proportional split,
+no L2/L1/L0 optimisation) — the §5.2 setting's reference points.
+
+Both simulations follow the same **stepwise protocol**: ``reset()``
+prepares a run, ``step()`` advances one T_L0 period, ``advance_period()``
+generates the steps of one control period, ``steps()`` generates the
+rest of the run, and ``finish()`` assembles the structured result.
+``run()`` is a thin loop over that protocol. Observers
+(:class:`~repro.sim.observers.SimulationObserver`) receive typed events
+at every seam; the result arrays themselves are accumulated by recorder
+observers riding the same interface, so streaming consumers see exactly
+what the results see.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ControlError
+from repro.common.validation import require_failure_events
 from repro.cluster.module import Module
 from repro.cluster.specs import ClusterSpec, ModuleSpec
-from repro.controllers.baselines import _BaselineBase
+from repro.controllers.baselines import _BaselineBase, make_baseline
 from repro.controllers.l0 import L0Controller
 from repro.controllers.l1 import ComputerBehaviorMap, L1Controller
 from repro.controllers.l2 import L2Controller, ModuleCostMap
 from repro.controllers.params import L0Params, L1Params, L2Params
 from repro.controllers.stats import ControllerStats
 from repro.forecast.structural import WorkloadPredictor
+from repro.sim.observers import (
+    ClusterRecorder,
+    L1DecisionEvent,
+    L2DecisionEvent,
+    ModuleRecorder,
+    ObserverList,
+    PeriodEvent,
+    SimulationObserver,
+    StepEvent,
+)
 from repro.sim.results import ClusterRunResult, ModuleRunResult
 from repro.workload.trace import ArrivalTrace
 
@@ -72,18 +96,13 @@ class ModuleSimulation:
         self.substeps = round(self.l1_params.period / self.l0_params.period)
         if self.substeps < 1:
             raise ConfigurationError("T_L1 must cover at least one T_L0")
-        for event in failure_events:
-            if len(event) != 3 or event[2] not in ("fail", "repair"):
-                raise ConfigurationError(
-                    "failure events are (time_seconds, computer_index, "
-                    "'fail'|'repair') tuples"
-                )
-            if baseline is not None:
-                raise ConfigurationError(
-                    "failure injection is supported in hierarchy mode only"
-                )
+        validated_events = require_failure_events(failure_events, spec.size)
+        if validated_events and baseline is not None:
+            raise ConfigurationError(
+                "failure injection is supported in hierarchy mode only"
+            )
         self.failure_events = tuple(
-            sorted(failure_events, key=lambda e: e[0])
+            sorted(validated_events, key=lambda e: e[0])
         )
         self.baseline = baseline
         if baseline is None:
@@ -99,141 +118,222 @@ class ModuleSimulation:
         if work_series.size != len(self.trace):
             raise ConfigurationError("work_series must align with the trace bins")
         self.work_series = work_series
+        self._state: "_ModuleRunState | None" = None
 
     @property
     def module_controller(self):
         """The active module-level controller (L1 or baseline)."""
         return self.baseline if self.baseline is not None else self.l1
 
-    def run(self) -> ModuleRunResult:
-        """Simulate the full trace; returns structured time series."""
-        trace = self.trace
+    @property
+    def total_steps(self) -> int:
+        """Number of T_L0 steps in the full run."""
+        return len(self.trace)
+
+    @property
+    def periods(self) -> int:
+        """Number of T_L1 control periods in the full run."""
+        return int(np.ceil(self.total_steps / self.substeps))
+
+    @property
+    def finished(self) -> bool:
+        """True once every step of the current run has been taken."""
+        return self._state is not None and self._state.k >= self.total_steps
+
+    # ------------------------------------------------------------------
+    # Stepwise protocol
+    # ------------------------------------------------------------------
+
+    def reset(
+        self, observers: "Iterable[SimulationObserver]" = ()
+    ) -> "ModuleSimulation":
+        """Prepare a fresh run: new plant, recorders, tuned predictors."""
+        recorder = ModuleRecorder(
+            self.total_steps, self.spec.size, self.periods
+        )
+        state = _ModuleRunState(
+            plant=Module(self.spec, initially_on=True),
+            recorder=recorder,
+            sink=ObserverList((recorder, *observers)),
+            fine_predictor=WorkloadPredictor(),
+            alpha=np.ones(self.spec.size, dtype=bool),
+            gamma=np.full(self.spec.size, 1.0 / self.spec.size),
+            pending_events=list(self.failure_events),
+        )
+        self._tune_predictor(self.module_controller, state.fine_predictor)
+        self._state = state
+        state.sink.on_run_start(self)
+        return self
+
+    def step(self) -> StepEvent:
+        """Advance one T_L0 period; returns the step's event."""
+        state = self._require_state()
+        if state.k >= self.total_steps:
+            raise ControlError("simulation already finished; call reset()")
+        k = state.k
         m = self.spec.size
-        steps = len(trace)
-        plant = Module(self.spec, initially_on=True)
+        plant = state.plant
         controller = self.module_controller
-        # Module-level arrival predictor at T_L0 granularity: the paper's
-        # "lambda_hat = gamma * lambda_hat_i" — each L0 controller's
-        # forecast is its gamma share of the module-level estimate, so a
-        # gamma change propagates to the L0 horizon instantly.
-        fine_predictor = WorkloadPredictor()
+        work = float(self.work_series[k])
+        now = k * self.l0_params.period
 
-        self._tune_predictor(controller, fine_predictor)
-
-        alpha = np.ones(m, dtype=bool)
-        gamma = np.full(m, 1.0 / m)
-        frequencies = np.zeros((steps, m))
-        responses = np.full((steps, m), np.nan)
-        queues = np.zeros((steps, m))
-        power = np.zeros(steps)
-        l1_steps = int(np.ceil(steps / self.substeps))
-        l1_arrivals = np.zeros(l1_steps)
-        l1_predictions = np.zeros(l1_steps)
-        computers_on = np.zeros(l1_steps)
-        interval_arrivals = 0.0
-
-        pending_events = list(self.failure_events)
-        for k in range(steps):
-            work = float(self.work_series[k])
-            now = k * self.l0_params.period
-            while pending_events and pending_events[0][0] <= now:
-                _, index_failed, kind = pending_events.pop(0)
-                if kind == "fail":
-                    plant.fail_computer(index_failed)
-                    alpha[index_failed] = False
-                    if gamma[index_failed] > 0:
-                        gamma = gamma.copy()
-                        gamma[index_failed] = 0.0
-                        total = gamma.sum()
-                        if total > 0:
-                            gamma = gamma / total
-                        else:
-                            # The only serving machine failed: emergency
-                            # power-on of the fastest survivor; arrivals
-                            # queue behind its boot.
-                            survivor = int(
-                                np.argmax(
-                                    np.where(
-                                        plant.available_mask,
-                                        [c.model.speed_factor for c in plant.computers],
-                                        -1.0,
-                                    )
+        while state.pending_events and state.pending_events[0][0] <= now:
+            _, index_failed, kind = state.pending_events.pop(0)
+            if kind == "fail":
+                plant.fail_computer(index_failed)
+                state.alpha[index_failed] = False
+                if state.gamma[index_failed] > 0:
+                    gamma = state.gamma.copy()
+                    gamma[index_failed] = 0.0
+                    total = gamma.sum()
+                    if total > 0:
+                        gamma = gamma / total
+                    else:
+                        # The only serving machine failed: emergency
+                        # power-on of the fastest survivor; arrivals
+                        # queue behind its boot.
+                        survivor = int(
+                            np.argmax(
+                                np.where(
+                                    plant.available_mask,
+                                    [c.model.speed_factor for c in plant.computers],
+                                    -1.0,
                                 )
                             )
-                            plant.computers[survivor].power_on()
-                            alpha[survivor] = True
-                            gamma = np.zeros_like(gamma)
-                            gamma[survivor] = 1.0
-                else:
-                    plant.repair_computer(index_failed)
-            if k % self.substeps == 0:
-                index = k // self.substeps
-                if k > 0:
-                    controller.observe(interval_arrivals, work)
-                l1_predictions[index] = float(controller.predictor.forecast(1)[0])
-                interval_arrivals = 0.0
-                if self.baseline is None:
-                    decision = controller.act(
-                        plant.queue_lengths, alpha, available=plant.available_mask
-                    )
-                else:
-                    decision = controller.act(plant.queue_lengths, alpha)
-                alpha = decision.alpha.astype(bool)
-                gamma = decision.gamma
-                plant.apply_configuration(alpha)
-                if self.baseline is not None:
-                    for computer, freq in zip(
-                        plant.computers, decision.frequency_indices
-                    ):
-                        computer.set_frequency_index(int(freq))
-                computers_on[index] = alpha.sum()
-
-            arrivals = float(trace.counts[k])
-            interval_arrivals += arrivals
-            l1_arrivals[k // self.substeps] += arrivals
-
-            if self.baseline is None:
-                module_forecast = (
-                    fine_predictor.forecast(self.l0_params.horizon)
-                    / self.l0_params.period
-                )
-                for j, (computer, l0) in enumerate(zip(plant.computers, self.l0s)):
-                    if computer.is_serving:
-                        freq = l0.decide(
-                            computer.queue_length,
-                            gamma[j] * module_forecast,
-                            l0.work_estimate,
                         )
-                        computer.set_frequency_index(freq.frequency_index)
-                    frequencies[k, j] = computer.frequency_ghz
+                        plant.computers[survivor].power_on()
+                        state.alpha[survivor] = True
+                        gamma = np.zeros_like(gamma)
+                        gamma[survivor] = 1.0
+                    state.gamma = gamma
             else:
-                frequencies[k] = [c.frequency_ghz for c in plant.computers]
+                plant.repair_computer(index_failed)
 
-            results = plant.step_fluid(arrivals, work, self.l0_params.period, gamma)
-            fine_predictor.observe(arrivals)
-            for j, result in enumerate(results):
-                responses[k, j] = result.response_time
-                queues[k, j] = result.queue
-                if self.baseline is None:
-                    self.l0s[j].work_filter.observe(work)
-            power[k] = plant.total_power(results)
+        if k % self.substeps == 0:
+            index = k // self.substeps
+            if k > 0:
+                controller.observe(state.interval_arrivals, work)
+            prediction = float(controller.predictor.forecast(1)[0])
+            state.interval_arrivals = 0.0
+            if self.baseline is None:
+                decision = controller.act(
+                    plant.queue_lengths, state.alpha, available=plant.available_mask
+                )
+            else:
+                decision = controller.act(plant.queue_lengths, state.alpha)
+            state.alpha = decision.alpha.astype(bool)
+            state.gamma = decision.gamma
+            plant.apply_configuration(state.alpha)
+            if self.baseline is not None:
+                for computer, freq in zip(
+                    plant.computers, decision.frequency_indices
+                ):
+                    computer.set_frequency_index(int(freq))
+            state.sink.on_l1_decision(
+                L1DecisionEvent(
+                    period=index,
+                    module=0,
+                    alpha=state.alpha.copy(),
+                    gamma=state.gamma.copy(),
+                    prediction=prediction,
+                )
+            )
 
+        arrivals = float(self.trace.counts[k])
+        state.interval_arrivals += arrivals
+
+        freq_row = np.zeros(m)
+        if self.baseline is None:
+            module_forecast = (
+                state.fine_predictor.forecast(self.l0_params.horizon)
+                / self.l0_params.period
+            )
+            for j, (computer, l0) in enumerate(zip(plant.computers, self.l0s)):
+                if computer.is_serving:
+                    freq = l0.decide(
+                        computer.queue_length,
+                        state.gamma[j] * module_forecast,
+                        l0.work_estimate,
+                    )
+                    computer.set_frequency_index(freq.frequency_index)
+                freq_row[j] = computer.frequency_ghz
+        else:
+            freq_row[:] = [c.frequency_ghz for c in plant.computers]
+
+        results = plant.step_fluid(arrivals, work, self.l0_params.period, state.gamma)
+        state.fine_predictor.observe(arrivals)
+        response_row = np.empty(m)
+        queue_row = np.empty(m)
+        for j, result in enumerate(results):
+            response_row[j] = result.response_time
+            queue_row[j] = result.queue
+            if self.baseline is None:
+                self.l0s[j].work_filter.observe(work)
+        power = plant.total_power(results)
+
+        event = StepEvent(
+            step=k,
+            time=now,
+            module=0,
+            arrivals=arrivals,
+            frequencies=freq_row,
+            responses=response_row,
+            queues=queue_row,
+            power=power,
+        )
+        state.sink.on_step(event)
+        if (k + 1) % self.substeps == 0 or k + 1 == self.total_steps:
+            state.sink.on_period_end(
+                PeriodEvent(
+                    period=k // self.substeps,
+                    arrivals=state.interval_arrivals,
+                )
+            )
+        state.k = k + 1
+        return event
+
+    def advance_period(self) -> "Iterator[StepEvent]":
+        """Generate the remaining steps of the current control period."""
+        state = self._require_state()
+        if state.k >= self.total_steps:
+            return
+        period = state.k // self.substeps
+        while not self.finished and self._state.k // self.substeps == period:
+            yield self.step()
+
+    def steps(self) -> "Iterator[StepEvent]":
+        """Generate every remaining step of the run."""
+        self._require_state()
+        while not self.finished:
+            yield self.step()
+
+    def finish(self) -> ModuleRunResult:
+        """Assemble the structured result once all steps are taken."""
+        state = self._require_state()
+        if state.k < self.total_steps:
+            raise ControlError(
+                f"run not finished: {state.k}/{self.total_steps} steps taken"
+            )
+        if state.result is not None:
+            return state.result
+        plant = state.plant
+        recorder = state.recorder
         on_count, off_count = plant.switch_counts()
         l0_stats = ControllerStats()
         for l0 in self.l0s:
             l0_stats = l0_stats.merged_with(l0.stats)
-        return ModuleRunResult(
+        result = ModuleRunResult(
             l0_period=self.l0_params.period,
             l1_period=self.l1_params.period,
             computer_names=[c.name for c in self.spec.computers],
-            arrivals=trace.counts.copy(),
-            frequencies=frequencies,
-            responses=responses,
-            queues=queues,
-            power=power,
-            l1_arrivals=l1_arrivals,
-            l1_predictions=l1_predictions,
-            computers_on=computers_on,
+            arrivals=recorder.arrivals,
+            frequencies=recorder.frequencies,
+            responses=recorder.responses,
+            queues=recorder.queues,
+            power=recorder.power,
+            l1_arrivals=recorder.l1_arrivals,
+            l1_predictions=recorder.l1_predictions,
+            computers_on=recorder.computers_on,
             target_response=self.l0_params.target_response,
             energy_base=sum(c.energy.base_energy for c in plant.computers),
             energy_dynamic=sum(c.energy.dynamic_energy for c in plant.computers),
@@ -241,8 +341,25 @@ class ModuleSimulation:
             switch_ons=on_count,
             switch_offs=off_count,
             l0_stats=l0_stats,
-            l1_stats=controller.stats,
+            l1_stats=self.module_controller.stats,
         )
+        state.result = result
+        state.sink.on_run_end(result)
+        return result
+
+    def run(
+        self, observers: "Iterable[SimulationObserver]" = ()
+    ) -> ModuleRunResult:
+        """Simulate the full trace; returns structured time series."""
+        self.reset(observers=observers)
+        for _ in self.steps():
+            pass
+        return self.finish()
+
+    def _require_state(self) -> "_ModuleRunState":
+        if self._state is None:
+            self.reset()
+        return self._state
 
     def _tune_predictor(self, controller, fine_predictor=None) -> None:
         """Tune the Kalman filters on the initial workload portion (§4.3)."""
@@ -258,8 +375,33 @@ class ModuleSimulation:
             fine_predictor.tune_on(self.trace.counts[: warmup * self.substeps])
 
 
+@dataclass
+class _ModuleRunState:
+    """Mutable per-run state for :class:`ModuleSimulation`."""
+
+    plant: Module
+    recorder: ModuleRecorder
+    sink: ObserverList
+    fine_predictor: WorkloadPredictor
+    alpha: np.ndarray
+    gamma: np.ndarray
+    pending_events: list
+    interval_arrivals: float = 0.0
+    k: int = 0
+    result: "ModuleRunResult | None" = None
+
+
 class ClusterSimulation:
-    """A cluster of modules under the full L2/L1/L0 hierarchy."""
+    """A cluster of modules under the full L2/L1/L0 hierarchy.
+
+    Passing ``baseline=`` (a registered baseline name such as
+    ``"threshold-dvfs"`` or a ``ModuleSpec -> controller`` factory) pins
+    every module to that heuristic policy instead: the global stream is
+    split by static full-speed capacity shares and each module is run by
+    its own baseline controller — no abstraction-map training, no
+    lookahead. This is the §5.2 analogue of the module-level baselines,
+    which the original run-to-completion API could not express.
+    """
 
     def __init__(
         self,
@@ -270,6 +412,8 @@ class ClusterSimulation:
         l2_params: L2Params | None = None,
         module_maps: "list[ModuleCostMap] | None" = None,
         options: SimulationOptions | None = None,
+        baseline: "str | Callable[[ModuleSpec], _BaselineBase] | None" = None,
+        baseline_params: "dict | None" = None,
     ) -> None:
         self.spec = spec
         self.l0_params = l0_params or L0Params()
@@ -282,9 +426,40 @@ class ClusterSimulation:
             raise ConfigurationError(
                 "this engine runs L2 and L1 on the same period (as the paper does)"
             )
-        # Train (or accept) the per-module approximation architectures.
+        if baseline_params and baseline is None:
+            raise ConfigurationError(
+                "baseline_params given without a baseline policy"
+            )
+        self.baselines: "list[_BaselineBase] | None" = None
         self._behavior_maps: list[list[ComputerBehaviorMap]] = []
         self.module_maps: list[ModuleCostMap] = []
+        self._state: "_ClusterRunState | None" = None
+        if baseline is not None:
+            if callable(baseline):
+                factory = baseline
+            else:
+                factory = lambda module_spec: make_baseline(  # noqa: E731
+                    baseline, module_spec, **(baseline_params or {})
+                )
+            self.baselines = [factory(m) for m in spec.modules]
+            for controller in self.baselines:
+                if not isinstance(controller, _BaselineBase):
+                    raise ConfigurationError(
+                        "cluster baseline factory must build baseline "
+                        f"controllers, got {type(controller).__name__}"
+                    )
+            self.l2: L2Controller | None = None
+            self._global_predictor = WorkloadPredictor()
+            # Static capacity-proportional split of the global stream.
+            capacities = np.array(
+                [
+                    m.max_service_rate(self.options.mean_work)
+                    for m in spec.modules
+                ]
+            )
+            self._static_gamma = capacities / capacities.sum()
+            return
+        # Train (or accept) the per-module approximation architectures.
         behavior_cache: dict[tuple, ComputerBehaviorMap] = {}
         map_cache: dict[tuple, ModuleCostMap] = {}
         for module_spec in spec.modules:
@@ -319,150 +494,342 @@ class ClusterSimulation:
             self.module_maps = list(module_maps)
         self.l2 = L2Controller(self.module_maps, self.l2_params)
 
-    def run(self) -> ClusterRunResult:
-        """Simulate the full trace under the three-level hierarchy."""
+    @property
+    def total_steps(self) -> int:
+        """Number of T_L0 steps in the full run."""
+        return len(self.trace)
+
+    @property
+    def periods(self) -> int:
+        """Number of T_L2 control periods in the full run."""
+        return int(np.ceil(self.total_steps / self.substeps))
+
+    @property
+    def finished(self) -> bool:
+        """True once every step of the current run has been taken."""
+        state = getattr(self, "_state", None)
+        return state is not None and state.k >= self.total_steps
+
+    # ------------------------------------------------------------------
+    # Stepwise protocol
+    # ------------------------------------------------------------------
+
+    def reset(
+        self, observers: "Iterable[SimulationObserver]" = ()
+    ) -> "ClusterSimulation":
+        """Prepare a fresh run: plants, controller banks, tuned filters."""
         p = self.spec.module_count
-        simulations = [
-            ModuleSimulation(
-                module_spec,
-                self.trace,  # placeholder bins; arrivals fed explicitly below
-                self.l0_params,
-                self.l1_params,
-                behavior_maps=maps,
-                options=self.options,
-            )
-            for module_spec, maps in zip(self.spec.modules, self._behavior_maps)
-        ]
+        steps = self.total_steps
+        periods = self.periods
         plants = [Module(s, initially_on=True) for s in self.spec.modules]
-        l1s = [sim.l1 for sim in simulations]
-        l0_banks = [sim.l0s for sim in simulations]
-
-        steps = len(self.trace)
-        periods = int(np.ceil(steps / self.substeps))
-        work = self.options.mean_work
-        # Global arrival predictor at T_L0 granularity; each L0's forecast
-        # is gamma_i * gamma_ij times this estimate.
-        fine_predictor = WorkloadPredictor()
-
-        self._tune_predictors(l1s, fine_predictor)
-
-        alphas = [np.ones(s.size, dtype=bool) for s in self.spec.modules]
-        gammas_module = [np.full(s.size, 1.0 / s.size) for s in self.spec.modules]
-        gamma_modules = np.full(p, 1.0 / p)
-
-        global_arrivals = np.zeros(periods)
-        global_predictions = np.zeros(periods)
-        gamma_history = np.zeros((periods, p))
-        total_on = np.zeros(periods)
-        per_module_on = np.zeros((periods, p))
-        frequencies = [np.zeros((steps, s.size)) for s in self.spec.modules]
-        responses = [np.full((steps, s.size), np.nan) for s in self.spec.modules]
-        queue_series = [np.zeros((steps, s.size)) for s in self.spec.modules]
-        power_series = [np.zeros(steps) for _ in self.spec.modules]
-        module_arrival_series = [np.zeros(steps) for _ in self.spec.modules]
-        l1_arr = np.zeros((periods, p))
-        l1_pred = np.zeros((periods, p))
-        interval_global = 0.0
-        interval_module = np.zeros(p)
-
-        for k in range(steps):
-            if k % self.substeps == 0:
-                index = k // self.substeps
-                if k > 0:
-                    self.l2.observe(interval_global, work)
-                    for i in range(p):
-                        l1s[i].observe(interval_module[i], work)
-                global_predictions[index] = float(self.l2.predictor.forecast(1)[0])
-                interval_global = 0.0
-                interval_module[:] = 0.0
-                queue_avgs = np.array(
-                    [plant.queue_lengths.mean() for plant in plants]
+        if self.baselines is None:
+            l1s = [
+                L1Controller(
+                    module_spec, maps, self.l1_params, self.l0_params
                 )
-                l2_decision = self.l2.act(queue_avgs, gamma_modules)
-                gamma_modules = l2_decision.gamma
-                gamma_history[index] = gamma_modules
-                # Each module's load estimate is its share of the global
-                # forecast (the paper's lambda_hat_i = gamma_i *
-                # lambda_hat_g), so gamma reassignments do not read as
-                # workload swings to the L1 Kalman filters.
-                global_counts = self.l2.predictor.forecast(2)
-                global_delta = self.l2.predictor.band.delta
-                for i in range(p):
-                    rate_hat = gamma_modules[i] * global_counts[0] / self.l2_params.period
-                    rate_next = gamma_modules[i] * global_counts[1] / self.l2_params.period
-                    delta = (
-                        gamma_modules[i] * global_delta / self.l2_params.period
-                        if self.l1_params.use_uncertainty_band
-                        else 0.0
-                    )
-                    l1_pred[index, i] = gamma_modules[i] * global_counts[0]
-                    decision = l1s[i].decide(
-                        plants[i].queue_lengths,
-                        alphas[i],
-                        rate_hat=rate_hat,
-                        rate_next=rate_next,
-                        delta=delta,
-                        work=l1s[i].work_estimate,
-                    )
-                    alphas[i] = decision.alpha.astype(bool)
-                    gammas_module[i] = decision.gamma
-                    plants[i].apply_configuration(alphas[i])
-                    per_module_on[index, i] = alphas[i].sum()
-                total_on[index] = per_module_on[index].sum()
+                for module_spec, maps in zip(self.spec.modules, self._behavior_maps)
+            ]
+            l0_banks = [
+                [L0Controller(c, self.l0_params) for c in s.computers]
+                for s in self.spec.modules
+            ]
+            fine_predictor = WorkloadPredictor()
+        else:
+            l1s = list(self.baselines)
+            l0_banks = [[] for _ in range(p)]
+            fine_predictor = None
+        cluster_recorder = ClusterRecorder(periods, p)
+        module_recorders = [
+            ModuleRecorder(steps, s.size, periods, module=i)
+            for i, s in enumerate(self.spec.modules)
+        ]
+        state = _ClusterRunState(
+            plants=plants,
+            l1s=l1s,
+            l0_banks=l0_banks,
+            fine_predictor=fine_predictor,
+            cluster_recorder=cluster_recorder,
+            module_recorders=module_recorders,
+            sink=ObserverList((cluster_recorder, *module_recorders, *observers)),
+            alphas=[np.ones(s.size, dtype=bool) for s in self.spec.modules],
+            gammas_module=[
+                np.full(s.size, 1.0 / s.size) for s in self.spec.modules
+            ],
+            gamma_modules=(
+                np.full(p, 1.0 / p)
+                if self.baselines is None
+                else self._static_gamma.copy()
+            ),
+            interval_module=np.zeros(p),
+        )
+        self._tune_predictors(l1s, fine_predictor)
+        self._state = state
+        state.sink.on_run_start(self)
+        return self
 
-            arrivals = float(self.trace.counts[k])
-            interval_global += arrivals
-            global_arrivals[k // self.substeps] += arrivals
-            shares = gamma_modules * arrivals
-            global_forecast = (
-                fine_predictor.forecast(self.l0_params.horizon)
-                / self.l0_params.period
+    def step(self) -> "list[StepEvent]":
+        """Advance one T_L0 period; returns one event per module."""
+        state = self._require_state()
+        if state.k >= self.total_steps:
+            raise ControlError("simulation already finished; call reset()")
+        if self.baselines is None:
+            events = self._step_hierarchy(state)
+        else:
+            events = self._step_baseline(state)
+        k = state.k
+        if (k + 1) % self.substeps == 0 or k + 1 == self.total_steps:
+            state.sink.on_period_end(
+                PeriodEvent(
+                    period=k // self.substeps,
+                    arrivals=state.interval_global,
+                    module_arrivals=state.interval_module.copy(),
+                )
+            )
+        state.k = k + 1
+        return events
+
+    def _step_hierarchy(self, state: "_ClusterRunState") -> "list[StepEvent]":
+        k = state.k
+        p = self.spec.module_count
+        plants, l1s, l0_banks = state.plants, state.l1s, state.l0_banks
+        work = self.options.mean_work
+
+        if k % self.substeps == 0:
+            index = k // self.substeps
+            if k > 0:
+                self.l2.observe(state.interval_global, work)
+                for i in range(p):
+                    l1s[i].observe(state.interval_module[i], work)
+            global_prediction = float(self.l2.predictor.forecast(1)[0])
+            state.interval_global = 0.0
+            state.interval_module[:] = 0.0
+            queue_avgs = np.array(
+                [plant.queue_lengths.mean() for plant in plants]
+            )
+            l2_decision = self.l2.act(queue_avgs, state.gamma_modules)
+            state.gamma_modules = l2_decision.gamma
+            state.sink.on_l2_decision(
+                L2DecisionEvent(
+                    period=index,
+                    gamma=state.gamma_modules.copy(),
+                    prediction=global_prediction,
+                )
+            )
+            # Each module's load estimate is its share of the global
+            # forecast (the paper's lambda_hat_i = gamma_i *
+            # lambda_hat_g), so gamma reassignments do not read as
+            # workload swings to the L1 Kalman filters.
+            global_counts = self.l2.predictor.forecast(2)
+            global_delta = self.l2.predictor.band.delta
+            for i in range(p):
+                rate_hat = (
+                    state.gamma_modules[i] * global_counts[0] / self.l2_params.period
+                )
+                rate_next = (
+                    state.gamma_modules[i] * global_counts[1] / self.l2_params.period
+                )
+                delta = (
+                    state.gamma_modules[i] * global_delta / self.l2_params.period
+                    if self.l1_params.use_uncertainty_band
+                    else 0.0
+                )
+                prediction = state.gamma_modules[i] * global_counts[0]
+                decision = l1s[i].decide(
+                    plants[i].queue_lengths,
+                    state.alphas[i],
+                    rate_hat=rate_hat,
+                    rate_next=rate_next,
+                    delta=delta,
+                    work=l1s[i].work_estimate,
+                )
+                state.alphas[i] = decision.alpha.astype(bool)
+                state.gammas_module[i] = decision.gamma
+                plants[i].apply_configuration(state.alphas[i])
+                state.sink.on_l1_decision(
+                    L1DecisionEvent(
+                        period=index,
+                        module=i,
+                        alpha=state.alphas[i].copy(),
+                        gamma=state.gammas_module[i].copy(),
+                        prediction=prediction,
+                    )
+                )
+
+        arrivals = float(self.trace.counts[k])
+        state.interval_global += arrivals
+        shares = state.gamma_modules * arrivals
+        global_forecast = (
+            state.fine_predictor.forecast(self.l0_params.horizon)
+            / self.l0_params.period
+        )
+        events = []
+        for i in range(p):
+            state.interval_module[i] += shares[i]
+            freq_row = np.zeros(self.spec.modules[i].size)
+            for j, (computer, l0) in enumerate(
+                zip(plants[i].computers, l0_banks[i])
+            ):
+                if computer.is_serving:
+                    local_forecast = (
+                        state.gamma_modules[i]
+                        * state.gammas_module[i][j]
+                        * global_forecast
+                    )
+                    freq = l0.decide(
+                        computer.queue_length, local_forecast, l0.work_estimate
+                    )
+                    computer.set_frequency_index(freq.frequency_index)
+                freq_row[j] = computer.frequency_ghz
+            results = plants[i].step_fluid(
+                shares[i], work, self.l0_params.period, state.gammas_module[i]
+            )
+            response_row = np.empty(self.spec.modules[i].size)
+            queue_row = np.empty(self.spec.modules[i].size)
+            for j, result in enumerate(results):
+                response_row[j] = result.response_time
+                queue_row[j] = result.queue
+                l0_banks[i][j].work_filter.observe(work)
+            event = StepEvent(
+                step=k,
+                time=k * self.l0_params.period,
+                module=i,
+                arrivals=shares[i],
+                frequencies=freq_row,
+                responses=response_row,
+                queues=queue_row,
+                power=plants[i].total_power(results),
+            )
+            state.sink.on_step(event)
+            events.append(event)
+        state.fine_predictor.observe(arrivals)
+        return events
+
+    def _step_baseline(self, state: "_ClusterRunState") -> "list[StepEvent]":
+        k = state.k
+        p = self.spec.module_count
+        plants, controllers = state.plants, state.l1s
+        work = self.options.mean_work
+
+        if k % self.substeps == 0:
+            index = k // self.substeps
+            if k > 0:
+                self._global_predictor.observe(state.interval_global)
+                for i in range(p):
+                    controllers[i].observe(state.interval_module[i], work)
+            global_prediction = float(self._global_predictor.forecast(1)[0])
+            state.interval_global = 0.0
+            state.interval_module[:] = 0.0
+            state.sink.on_l2_decision(
+                L2DecisionEvent(
+                    period=index,
+                    gamma=state.gamma_modules.copy(),
+                    prediction=global_prediction,
+                )
             )
             for i in range(p):
-                interval_module[i] += shares[i]
-                l1_arr[k // self.substeps, i] += shares[i]
-                module_arrival_series[i][k] = shares[i]
-                for j, (computer, l0) in enumerate(zip(plants[i].computers, l0_banks[i])):
-                    if computer.is_serving:
-                        local_forecast = (
-                            gamma_modules[i] * gammas_module[i][j] * global_forecast
-                        )
-                        freq = l0.decide(
-                            computer.queue_length, local_forecast, l0.work_estimate
-                        )
-                        computer.set_frequency_index(freq.frequency_index)
-                    frequencies[i][k, j] = computer.frequency_ghz
-                results = plants[i].step_fluid(
-                    shares[i], work, self.l0_params.period, gammas_module[i]
+                decision = controllers[i].act(
+                    plants[i].queue_lengths, state.alphas[i]
                 )
-                for j, result in enumerate(results):
-                    responses[i][k, j] = result.response_time
-                    queue_series[i][k, j] = result.queue
-                    l0_banks[i][j].work_filter.observe(work)
-                power_series[i][k] = plants[i].total_power(results)
-            fine_predictor.observe(arrivals)
+                state.alphas[i] = decision.alpha.astype(bool)
+                state.gammas_module[i] = decision.gamma
+                plants[i].apply_configuration(state.alphas[i])
+                for computer, freq in zip(
+                    plants[i].computers, decision.frequency_indices
+                ):
+                    computer.set_frequency_index(int(freq))
+                state.sink.on_l1_decision(
+                    L1DecisionEvent(
+                        period=index,
+                        module=i,
+                        alpha=state.alphas[i].copy(),
+                        gamma=state.gammas_module[i].copy(),
+                        prediction=float(
+                            controllers[i].predictor.forecast(1)[0]
+                        ),
+                    )
+                )
 
+        arrivals = float(self.trace.counts[k])
+        state.interval_global += arrivals
+        shares = state.gamma_modules * arrivals
+        events = []
+        for i in range(p):
+            state.interval_module[i] += shares[i]
+            freq_row = np.array(
+                [c.frequency_ghz for c in plants[i].computers]
+            )
+            results = plants[i].step_fluid(
+                shares[i], work, self.l0_params.period, state.gammas_module[i]
+            )
+            response_row = np.empty(self.spec.modules[i].size)
+            queue_row = np.empty(self.spec.modules[i].size)
+            for j, result in enumerate(results):
+                response_row[j] = result.response_time
+                queue_row[j] = result.queue
+            event = StepEvent(
+                step=k,
+                time=k * self.l0_params.period,
+                module=i,
+                arrivals=shares[i],
+                frequencies=freq_row,
+                responses=response_row,
+                queues=queue_row,
+                power=plants[i].total_power(results),
+            )
+            state.sink.on_step(event)
+            events.append(event)
+        return events
+
+    def advance_period(self) -> "Iterator[list[StepEvent]]":
+        """Generate the remaining steps of the current control period."""
+        state = self._require_state()
+        if state.k >= self.total_steps:
+            return
+        period = state.k // self.substeps
+        while not self.finished and self._state.k // self.substeps == period:
+            yield self.step()
+
+    def steps(self) -> "Iterator[list[StepEvent]]":
+        """Generate every remaining step of the run."""
+        self._require_state()
+        while not self.finished:
+            yield self.step()
+
+    def finish(self) -> ClusterRunResult:
+        """Assemble the structured result once all steps are taken."""
+        state = self._require_state()
+        if state.k < self.total_steps:
+            raise ControlError(
+                f"run not finished: {state.k}/{self.total_steps} steps taken"
+            )
+        if state.result is not None:
+            return state.result
         module_results = []
-        for i, plant in enumerate(plants):
+        for i, plant in enumerate(state.plants):
             on_count, off_count = plant.switch_counts()
             l0_stats = ControllerStats()
-            for l0 in l0_banks[i]:
+            for l0 in state.l0_banks[i]:
                 l0_stats = l0_stats.merged_with(l0.stats)
+            recorder = state.module_recorders[i]
             module_results.append(
                 ModuleRunResult(
                     l0_period=self.l0_params.period,
                     l1_period=self.l1_params.period,
-                    computer_names=[c.name for c in self.spec.modules[i].computers],
-                    arrivals=module_arrival_series[i],
-                    frequencies=frequencies[i],
-                    responses=responses[i],
-                    queues=queue_series[i],
-                    power=power_series[i],
-                    l1_arrivals=l1_arr[:, i],
-                    l1_predictions=l1_pred[:, i],
-                    computers_on=per_module_on[:, i],
+                    computer_names=[
+                        c.name for c in self.spec.modules[i].computers
+                    ],
+                    arrivals=recorder.arrivals,
+                    frequencies=recorder.frequencies,
+                    responses=recorder.responses,
+                    queues=recorder.queues,
+                    power=recorder.power,
+                    l1_arrivals=recorder.l1_arrivals,
+                    l1_predictions=recorder.l1_predictions,
+                    computers_on=recorder.computers_on,
                     target_response=self.l0_params.target_response,
-                    energy_base=sum(c.energy.base_energy for c in plant.computers),
+                    energy_base=sum(
+                        c.energy.base_energy for c in plant.computers
+                    ),
                     energy_dynamic=sum(
                         c.energy.dynamic_energy for c in plant.computers
                     ),
@@ -472,28 +839,52 @@ class ClusterSimulation:
                     switch_ons=on_count,
                     switch_offs=off_count,
                     l0_stats=l0_stats,
-                    l1_stats=l1s[i].stats,
+                    l1_stats=state.l1s[i].stats,
                 )
             )
-        return ClusterRunResult(
+        cluster = state.cluster_recorder
+        result = ClusterRunResult(
             l2_period=self.l2_params.period,
             module_names=[m.name for m in self.spec.modules],
-            global_arrivals=global_arrivals,
-            global_predictions=global_predictions,
-            gamma_history=gamma_history,
-            total_computers_on=total_on,
-            per_module_on=per_module_on,
+            global_arrivals=cluster.global_arrivals,
+            global_predictions=cluster.global_predictions,
+            gamma_history=cluster.gamma_history,
+            total_computers_on=cluster.per_module_on.sum(axis=1),
+            per_module_on=cluster.per_module_on,
             target_response=self.l0_params.target_response,
             module_results=module_results,
-            l2_stats=self.l2.stats,
+            l2_stats=self.l2.stats if self.l2 is not None else ControllerStats(),
         )
+        state.result = result
+        state.sink.on_run_end(result)
+        return result
 
-    def _tune_predictors(self, l1s: list[L1Controller], fine_predictor) -> None:
+    def run(
+        self, observers: "Iterable[SimulationObserver]" = ()
+    ) -> ClusterRunResult:
+        """Simulate the full trace under the three-level hierarchy."""
+        self.reset(observers=observers)
+        for _ in self.steps():
+            pass
+        return self.finish()
+
+    def _require_state(self) -> "_ClusterRunState":
+        if getattr(self, "_state", None) is None:
+            self.reset()
+        return self._state
+
+    def _tune_predictors(self, l1s, fine_predictor) -> None:
         """Tune L2 and L1 Kalman filters on the initial workload portion."""
         warmup = self.options.warmup_intervals
         if warmup <= 0:
             return
         l2_counts = self.trace.rebinned(self.l2_params.period).counts[:warmup]
+        if self.baselines is not None:
+            self._global_predictor.tune_on(l2_counts)
+            for i, controller in enumerate(l1s):
+                controller.predictor.tune_on(l2_counts * self._static_gamma[i])
+                controller.work_filter.observe(self.options.mean_work)
+            return
         self.l2.predictor.tune_on(l2_counts)
         self.l2.work_filter.observe(self.options.mean_work)
         p = self.spec.module_count
@@ -501,3 +892,23 @@ class ClusterSimulation:
             l1.predictor.tune_on(l2_counts / p)
             l1.work_filter.observe(self.options.mean_work)
         fine_predictor.tune_on(self.trace.counts[: warmup * self.substeps])
+
+
+@dataclass
+class _ClusterRunState:
+    """Mutable per-run state for :class:`ClusterSimulation`."""
+
+    plants: list
+    l1s: list
+    l0_banks: list
+    fine_predictor: "WorkloadPredictor | None"
+    cluster_recorder: ClusterRecorder
+    module_recorders: list
+    sink: ObserverList
+    alphas: list
+    gammas_module: list
+    gamma_modules: np.ndarray
+    interval_module: np.ndarray
+    interval_global: float = 0.0
+    k: int = 0
+    result: "ClusterRunResult | None" = None

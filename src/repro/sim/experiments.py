@@ -1,34 +1,48 @@
-"""Pre-packaged experiment configurations from the paper's evaluation.
+"""Legacy run-to-completion wrappers over the scenario API.
+
+.. deprecated::
+    The scenario-first API supersedes these functions:
+    ``run_scenario(Scenario.module(m=4).build())`` replaces
+    :func:`module_experiment`, and the registry names
+    (``paper/fig4-module4``, ``paper/fig6-cluster16``, ...) replace the
+    hard-coded configurations. The wrappers remain as thin shims — they
+    build the equivalent :class:`~repro.scenario.spec.ScenarioSpec` and
+    call :func:`~repro.scenario.runner.run_scenario`, so they produce
+    bit-for-bit identical results and existing benchmarks keep passing.
 
 * :func:`module_experiment` — §4.3: the heterogeneous module of four under
   the synthetic day-scale workload (Figs. 4 and 5), with the m = 6 and
   m = 10 variants used for the overhead study.
 * :func:`cluster_experiment` — §5.2: sixteen computers in four modules
   under the WC'98 workload (Figs. 6 and 7), with the twenty-computer
-  five-module variant.
+  five-module variant — now also runnable with ``baseline=`` pinning
+  every module to a heuristic policy.
 * :func:`overhead_experiment` — the §4.3 control-overhead measurements.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.specs import (
-    paper_cluster_spec,
-    paper_module_spec,
-    scaled_module_spec,
-)
+from repro.cluster.specs import paper_module_spec, scaled_module_spec
 from repro.controllers.baselines import _BaselineBase
 from repro.controllers.params import L0Params, L1Params, L2Params
-from repro.sim.engine import ClusterSimulation, ModuleSimulation, SimulationOptions
 from repro.sim.results import ClusterRunResult, ModuleRunResult
 from repro.workload.synthetic import SyntheticWorkloadSpec, synthetic_trace
-from repro.workload.wc98 import WC98Spec, wc98_trace
 
 #: Aggregate full-speed capacity of the module of four at c = 17.5 ms.
 MODULE_OF_FOUR_CAPACITY = paper_module_spec().max_service_rate(0.0175)
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def module_workload(
@@ -61,34 +75,30 @@ def module_experiment(
 ) -> ModuleRunResult:
     """Run the §4.3 module experiment and return its results.
 
+    .. deprecated:: use
+        ``run_scenario(Scenario.module(m=...).workload("synthetic",
+        samples=...).seed(...).build())``.
+
     With the defaults this reproduces Figs. 4 and 5: r* = 4 s, N_L0 = 3,
     T_L0 = 30 s, N_L1 = 1, T_L1 = 2 min, W = 8, gamma step 0.05 (0.1 for
     the m = 6 / m = 10 variants, per the paper).
     """
-    spec = paper_module_spec() if m == 4 else scaled_module_spec(m)
-    if l1_params is None:
-        if m == 4:
-            l1_params = L1Params(gamma_step=0.05)
-        else:
-            # The paper coarsens the search for larger modules (gamma
-            # quantised at 0.1 for m = 6 and m = 10) to keep the L1
-            # overhead flat; we additionally bound the neighbourhood.
-            l1_params = L1Params(
-                gamma_step=0.1,
-                gamma_neighborhood_moves=1,
-                max_gamma_candidates=8,
-            )
-    trace = module_workload(m=m, l1_samples=l1_samples, seed=seed)
-    simulation = ModuleSimulation(
-        spec,
-        trace,
+    from repro.scenario import Scenario, run_scenario
+
+    _deprecated("module_experiment", "run_scenario + Scenario.module")
+    scenario = (
+        Scenario.module(m=m)
+        .workload("synthetic", samples=l1_samples)
+        .seed(seed)
+        .build()
+    )
+    return run_scenario(
+        scenario,
+        baseline=baseline,
         l0_params=l0_params,
         l1_params=l1_params,
-        baseline=baseline,
         behavior_maps=behavior_maps,
-        options=SimulationOptions(seed=seed),
     )
-    return simulation.run()
 
 
 def cluster_experiment(
@@ -99,36 +109,39 @@ def cluster_experiment(
     l1_params: L1Params | None = None,
     l2_params: L2Params | None = None,
     scale: float | None = None,
+    baseline: "str | None" = None,
+    baseline_params: "dict | None" = None,
 ) -> ClusterRunResult:
     """Run the §5.2 cluster experiment (Figs. 6 and 7).
+
+    .. deprecated:: use
+        ``run_scenario(Scenario.cluster(p=...).workload("wc98",
+        samples=...).build())``.
 
     Sixteen heterogeneous computers in four heterogeneous modules under a
     WC'98-shaped one-day trace; ``p = 5`` gives the twenty-computer
     variant. The trace is scaled to the cluster's capacity when ``scale``
-    is not given explicitly.
+    is not given explicitly. ``baseline`` (a registered baseline name,
+    e.g. ``"always-on-max"``) pins every module to that heuristic with a
+    static capacity-proportional split — the cluster-level comparison the
+    paper's §5.2 setting implies.
     """
-    spec = paper_cluster_spec(p=p)
-    trace = wc98_trace(WC98Spec(samples=samples), seed=seed)
-    if scale is None:
-        # "After capacity planning for the workload of interest": peak
-        # load sized to ~60 % of the cluster's full-speed capacity, so
-        # the hierarchy has the headroom the paper provisioned. The peak
-        # is always taken from the full day, even for shortened runs —
-        # capacity planning looks at the whole workload.
-        capacity = sum(m.max_service_rate(0.0175) for m in spec.modules)
-        reference = wc98_trace(WC98Spec(samples=600), seed=seed)
-        peak_rate = reference.counts.max() / reference.bin_seconds
-        scale = 0.6 * capacity / peak_rate
-    trace = trace.scaled(scale)
-    simulation = ClusterSimulation(
-        spec,
-        trace,
+    from repro.scenario import Scenario, run_scenario
+
+    _deprecated("cluster_experiment", "run_scenario + Scenario.cluster")
+    builder = (
+        Scenario.cluster(p=p)
+        .workload("wc98", samples=samples, scale=scale)
+        .seed(seed)
+    )
+    if baseline is not None:
+        builder = builder.baseline(baseline, **(baseline_params or {}))
+    return run_scenario(
+        builder.build(),
         l0_params=l0_params,
         l1_params=l1_params,
         l2_params=l2_params,
-        options=SimulationOptions(seed=seed),
     )
-    return simulation.run()
 
 
 @dataclass(frozen=True)
@@ -150,7 +163,15 @@ def overhead_experiment(
     m: int, l1_samples: int = 400, seed: int = 0
 ) -> OverheadReport:
     """Measure §4.3's control overhead for a module of ``m`` computers."""
-    result = module_experiment(m=m, l1_samples=l1_samples, seed=seed)
+    from repro.scenario import Scenario, run_scenario
+
+    scenario = (
+        Scenario.module(m=m)
+        .workload("synthetic", samples=l1_samples)
+        .seed(seed)
+        .build()
+    )
+    result = run_scenario(scenario)
     return OverheadReport(
         m=m,
         l1_mean_states=result.l1_stats.mean_states,

@@ -1,0 +1,250 @@
+"""Observer hooks for the stepwise simulation protocol.
+
+The engine (:mod:`repro.sim.engine`) advances in explicit steps and
+emits typed events at each seam of the control hierarchy:
+
+* :meth:`SimulationObserver.on_l1_decision` — a module controller (L1 or
+  a baseline) just reconfigured its module;
+* :meth:`SimulationObserver.on_l2_decision` — the cluster controller
+  just re-divided the workload across modules;
+* :meth:`SimulationObserver.on_step` — one computer-module advanced one
+  T_L0 fluid step;
+* :meth:`SimulationObserver.on_period_end` — one T_L1/T_L2 period
+  closed (all arrivals for it are accounted).
+
+Stats collection is itself an observer: the engine attaches a
+:class:`ModuleRecorder` (or :class:`ClusterRecorder`) that accumulates
+the structured time series returned by ``run()``. User observers ride
+the same seam, so progress reporting, streaming metrics, and tests see
+exactly what the result arrays see — without the engine holding any
+side channels. This is also the interface behind which future async or
+sharded backends can sit: anything that emits these events can drive
+the same consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.controllers.stats import ControllerStats
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One T_L0 fluid step of one module.
+
+    ``module`` is the module's index within the cluster (0 for
+    single-module runs). Array fields have one entry per computer.
+    """
+
+    step: int
+    time: float
+    module: int
+    arrivals: float
+    frequencies: np.ndarray
+    responses: np.ndarray
+    queues: np.ndarray
+    power: float
+
+
+@dataclass(frozen=True)
+class L1DecisionEvent:
+    """A module-level (L1 or baseline) reconfiguration."""
+
+    period: int
+    module: int
+    alpha: np.ndarray
+    gamma: np.ndarray
+    prediction: float  # forecast arrivals for the coming period
+
+
+@dataclass(frozen=True)
+class L2DecisionEvent:
+    """A cluster-level workload re-division."""
+
+    period: int
+    gamma: np.ndarray  # per-module load shares
+    prediction: float  # forecast global arrivals for the coming period
+
+
+@dataclass(frozen=True)
+class PeriodEvent:
+    """A closed control period with its realised arrivals.
+
+    For module runs ``arrivals`` is the module's total over the period;
+    for cluster runs it is the global total and ``module_arrivals``
+    holds the per-module split.
+    """
+
+    period: int
+    arrivals: float
+    module_arrivals: np.ndarray | None = None
+
+
+class SimulationObserver:
+    """Base observer: every hook is a no-op; override what you need."""
+
+    def on_run_start(self, simulation) -> None:
+        """The run is about to begin; ``simulation`` is fully reset."""
+
+    def on_l1_decision(self, event: L1DecisionEvent) -> None:
+        """A module controller decided alpha/gamma for the next period."""
+
+    def on_l2_decision(self, event: L2DecisionEvent) -> None:
+        """The L2 controller re-divided load across modules."""
+
+    def on_step(self, event: StepEvent) -> None:
+        """One module advanced one T_L0 fluid step."""
+
+    def on_period_end(self, event: PeriodEvent) -> None:
+        """A control period closed; its arrivals are final."""
+
+    def on_run_end(self, result) -> None:
+        """The run finished; ``result`` is the structured result."""
+
+
+class ObserverList:
+    """Fan-out helper: broadcasts each event to every observer in order."""
+
+    def __init__(self, observers: "tuple[SimulationObserver, ...]") -> None:
+        self.observers = tuple(observers)
+
+    def on_run_start(self, simulation) -> None:
+        for observer in self.observers:
+            observer.on_run_start(simulation)
+
+    def on_l1_decision(self, event: L1DecisionEvent) -> None:
+        for observer in self.observers:
+            observer.on_l1_decision(event)
+
+    def on_l2_decision(self, event: L2DecisionEvent) -> None:
+        for observer in self.observers:
+            observer.on_l2_decision(event)
+
+    def on_step(self, event: StepEvent) -> None:
+        for observer in self.observers:
+            observer.on_step(event)
+
+    def on_period_end(self, event: PeriodEvent) -> None:
+        for observer in self.observers:
+            observer.on_period_end(event)
+
+    def on_run_end(self, result) -> None:
+        for observer in self.observers:
+            observer.on_run_end(result)
+
+
+class ModuleRecorder(SimulationObserver):
+    """Accumulates the time series behind :class:`ModuleRunResult`.
+
+    The engine attaches one per module run; cluster runs attach one per
+    member module (filtering on the event's ``module`` index).
+    """
+
+    def __init__(self, steps: int, size: int, periods: int, module: int = 0) -> None:
+        self.module = module
+        self.arrivals = np.zeros(steps)
+        self.frequencies = np.zeros((steps, size))
+        self.responses = np.full((steps, size), np.nan)
+        self.queues = np.zeros((steps, size))
+        self.power = np.zeros(steps)
+        self.l1_arrivals = np.zeros(periods)
+        self.l1_predictions = np.zeros(periods)
+        self.computers_on = np.zeros(periods)
+
+    def on_step(self, event: StepEvent) -> None:
+        if event.module != self.module:
+            return
+        k = event.step
+        self.arrivals[k] = event.arrivals
+        self.frequencies[k] = event.frequencies
+        self.responses[k] = event.responses
+        self.queues[k] = event.queues
+        self.power[k] = event.power
+
+    def on_l1_decision(self, event: L1DecisionEvent) -> None:
+        if event.module != self.module:
+            return
+        self.l1_predictions[event.period] = event.prediction
+        self.computers_on[event.period] = event.alpha.sum()
+
+    def on_period_end(self, event: PeriodEvent) -> None:
+        if event.module_arrivals is None:
+            self.l1_arrivals[event.period] = event.arrivals
+        else:
+            self.l1_arrivals[event.period] = event.module_arrivals[self.module]
+
+
+class ClusterRecorder(SimulationObserver):
+    """Accumulates the cluster-level series behind :class:`ClusterRunResult`."""
+
+    def __init__(self, periods: int, module_count: int) -> None:
+        self.global_arrivals = np.zeros(periods)
+        self.global_predictions = np.zeros(periods)
+        self.gamma_history = np.zeros((periods, module_count))
+        self.per_module_on = np.zeros((periods, module_count))
+
+    def on_l2_decision(self, event: L2DecisionEvent) -> None:
+        self.global_predictions[event.period] = event.prediction
+        self.gamma_history[event.period] = event.gamma
+
+    def on_l1_decision(self, event: L1DecisionEvent) -> None:
+        self.per_module_on[event.period, event.module] = event.alpha.sum()
+
+    def on_period_end(self, event: PeriodEvent) -> None:
+        self.global_arrivals[event.period] = event.arrivals
+
+
+class ProgressObserver(SimulationObserver):
+    """Prints a one-line progress report every ``every`` periods."""
+
+    def __init__(self, every: int = 30, stream=None) -> None:
+        self.every = max(1, int(every))
+        self.stream = stream
+        self._periods = 0
+
+    def on_period_end(self, event: PeriodEvent) -> None:
+        self._periods += 1
+        if self._periods % self.every == 0:
+            import sys
+
+            stream = self.stream or sys.stderr
+            print(
+                f"[repro] period {self._periods}: "
+                f"{event.arrivals:.0f} arrivals in the last period",
+                file=stream,
+            )
+
+
+class HookCounter(SimulationObserver):
+    """Counts hook firings — used by tests and sanity checks."""
+
+    def __init__(self) -> None:
+        self.counts = {
+            "run_start": 0,
+            "l1_decision": 0,
+            "l2_decision": 0,
+            "step": 0,
+            "period_end": 0,
+            "run_end": 0,
+        }
+
+    def on_run_start(self, simulation) -> None:
+        self.counts["run_start"] += 1
+
+    def on_l1_decision(self, event: L1DecisionEvent) -> None:
+        self.counts["l1_decision"] += 1
+
+    def on_l2_decision(self, event: L2DecisionEvent) -> None:
+        self.counts["l2_decision"] += 1
+
+    def on_step(self, event: StepEvent) -> None:
+        self.counts["step"] += 1
+
+    def on_period_end(self, event: PeriodEvent) -> None:
+        self.counts["period_end"] += 1
+
+    def on_run_end(self, result) -> None:
+        self.counts["run_end"] += 1

@@ -1,0 +1,250 @@
+"""run_scenario: shim equivalence, cluster baselines, observers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_module_spec
+from repro.common import ConfigurationError
+from repro.controllers import L1Controller, ThresholdDvfsController
+from repro.scenario import Scenario, build_simulation, get_scenario, run_scenario
+from repro.sim import ClusterSimulation, HookCounter, ModuleSimulation
+from repro.sim.experiments import cluster_experiment, module_experiment
+
+
+@pytest.fixture(scope="module")
+def behavior_maps():
+    """Train the module-of-four abstraction maps once."""
+    return L1Controller(paper_module_spec()).maps
+
+
+def _identical(a, b):
+    assert np.array_equal(a.arrivals, b.arrivals)
+    assert np.array_equal(a.frequencies, b.frequencies)
+    assert np.array_equal(a.responses, b.responses, equal_nan=True)
+    assert np.array_equal(a.queues, b.queues)
+    assert np.array_equal(a.power, b.power)
+    assert np.array_equal(a.l1_arrivals, b.l1_arrivals)
+    assert np.array_equal(a.l1_predictions, b.l1_predictions)
+    assert np.array_equal(a.computers_on, b.computers_on)
+    assert a.energy_base == b.energy_base
+    assert a.energy_dynamic == b.energy_dynamic
+    assert a.energy_transient == b.energy_transient
+    assert (a.switch_ons, a.switch_offs) == (b.switch_ons, b.switch_offs)
+
+
+class TestShimEquivalence:
+    def test_module_shim_matches_named_scenario(self, behavior_maps):
+        """module_experiment(m=4) == run_scenario('paper/fig4-module4')."""
+        with pytest.deprecated_call():
+            old = module_experiment(
+                m=4, l1_samples=36, seed=11, behavior_maps=behavior_maps
+            )
+        new = run_scenario(
+            get_scenario("paper/fig4-module4", samples=36, seed=11),
+            behavior_maps=behavior_maps,
+        )
+        _identical(old, new)
+
+    def test_module_shim_matches_builder_without_shared_maps(self):
+        """Bit-for-bit including independent map training."""
+        with pytest.deprecated_call():
+            old = module_experiment(m=4, l1_samples=24, seed=3)
+        new = run_scenario(
+            Scenario.module(m=4).workload("synthetic", samples=24).seed(3).build()
+        )
+        _identical(old, new)
+
+    def test_baseline_shim_matches_scenario(self):
+        with pytest.deprecated_call():
+            old = module_experiment(
+                m=4, l1_samples=36, seed=0,
+                baseline=ThresholdDvfsController(paper_module_spec()),
+            )
+        new = run_scenario(
+            Scenario.module(m=4)
+            .workload("synthetic", samples=36)
+            .baseline("threshold-dvfs")
+            .build()
+        )
+        _identical(old, new)
+
+    def test_cluster_shim_matches_baseline_scenario(self):
+        """Cluster baselines: new in both the shim and the scenario API."""
+        with pytest.deprecated_call():
+            old = cluster_experiment(
+                p=4, samples=36, seed=2, baseline="threshold-dvfs"
+            )
+        new = run_scenario(
+            get_scenario("cluster-baseline-showdown", samples=36, seed=2)
+        )
+        assert np.array_equal(old.global_arrivals, new.global_arrivals)
+        assert np.array_equal(old.gamma_history, new.gamma_history)
+        assert np.array_equal(old.total_computers_on, new.total_computers_on)
+        for a, b in zip(old.module_results, new.module_results):
+            _identical(a, b)
+
+
+class TestClusterBaselines:
+    def test_showdown_scenario_runs(self):
+        result = run_scenario(
+            get_scenario("cluster-baseline-showdown", samples=30)
+        )
+        assert result.periods == 30
+        assert np.allclose(result.gamma_history.sum(axis=1), 1.0)
+        assert result.summary().total_energy > 0
+
+    def test_always_on_uses_every_machine(self):
+        result = run_scenario(get_scenario("cluster-always-on-max", samples=24))
+        assert result.total_computers_on.min() == 16
+
+    def test_baseline_skips_map_training(self):
+        """Baseline cluster construction must be near-instant (no training)."""
+        import time
+
+        spec = get_scenario("cluster-baseline-showdown", samples=12)
+        started = time.perf_counter()
+        simulation = build_simulation(spec)
+        elapsed = time.perf_counter() - started
+        assert isinstance(simulation, ClusterSimulation)
+        assert simulation.l2 is None
+        assert elapsed < 1.0
+
+    def test_cluster_l2_stats_empty_under_baseline(self):
+        result = run_scenario(get_scenario("cluster-baseline-showdown", samples=12))
+        assert result.l2_stats.invocations == 0
+
+
+class TestFailoverScenario:
+    def test_module_failover_runs_and_recovers(self, behavior_maps):
+        spec = get_scenario("module-failover")
+        result = run_scenario(spec, behavior_maps=behavior_maps)
+        fail_time = spec.faults.events[0][0]
+        fail_step = int(fail_time / result.l0_period)
+        fail_period = fail_step // 4
+        # The failed machine serves nothing right after the event.
+        assert np.all(np.isnan(result.responses[fail_step + 4 : fail_step + 40, 3]))
+        # Survivors were brought on to absorb the load...
+        assert result.computers_on[fail_period + 2 :].max() >= 3
+        # ...and QoS recovers: the final third of the run meets the target.
+        tail = result.responses[-120:]
+        tail = tail[~np.isnan(tail)]
+        assert tail.mean() < result.target_response
+
+
+class TestObserverIntegration:
+    def test_module_hook_counts(self, behavior_maps):
+        spec = get_scenario("paper/fig4-module4", samples=12)
+        counter = HookCounter()
+        simulation = build_simulation(spec, behavior_maps=behavior_maps)
+        assert isinstance(simulation, ModuleSimulation)
+        simulation.run(observers=(counter,))
+        substeps = simulation.substeps
+        assert counter.counts["run_start"] == 1
+        assert counter.counts["run_end"] == 1
+        assert counter.counts["step"] == 12 * substeps
+        assert counter.counts["l1_decision"] == 12
+        assert counter.counts["period_end"] == 12
+        assert counter.counts["l2_decision"] == 0
+
+    def test_cluster_hook_counts(self):
+        counter = HookCounter()
+        run_scenario(
+            get_scenario("cluster-baseline-showdown", samples=10),
+            observers=(counter,),
+        )
+        # 4 modules x 10 periods of decisions; 4 module step events per
+        # global step; one L2 (split) event per period.
+        assert counter.counts["l2_decision"] == 10
+        assert counter.counts["l1_decision"] == 40
+        assert counter.counts["step"] == 10 * 4 * 4
+        assert counter.counts["period_end"] == 10
+
+    def test_observer_sees_what_results_see(self, behavior_maps):
+        class PowerStream:
+            def __init__(self):
+                self.power = []
+
+            def on_run_start(self, simulation):
+                pass
+
+            def on_l1_decision(self, event):
+                pass
+
+            def on_l2_decision(self, event):
+                pass
+
+            def on_step(self, event):
+                self.power.append(event.power)
+
+            def on_period_end(self, event):
+                pass
+
+            def on_run_end(self, result):
+                pass
+
+        stream = PowerStream()
+        result = run_scenario(
+            get_scenario("paper/fig4-module4", samples=12),
+            observers=(stream,),
+            behavior_maps=behavior_maps,
+        )
+        assert np.array_equal(np.array(stream.power), result.power)
+
+
+class TestStepwiseProtocol:
+    def test_advance_period_yields_one_period(self, behavior_maps):
+        simulation = build_simulation(
+            get_scenario("paper/fig4-module4", samples=8),
+            behavior_maps=behavior_maps,
+        )
+        simulation.reset()
+        events = list(simulation.advance_period())
+        assert len(events) == simulation.substeps
+        assert [e.step for e in events] == list(range(simulation.substeps))
+        assert not simulation.finished
+
+    def test_stepping_to_the_end_matches_run(self, behavior_maps):
+        spec = get_scenario("paper/fig4-module4", samples=8, seed=4)
+        stepped = build_simulation(spec, behavior_maps=behavior_maps)
+        stepped.reset()
+        while not stepped.finished:
+            stepped.step()
+        manual = stepped.finish()
+        ran = run_scenario(spec, behavior_maps=behavior_maps)
+        _identical(manual, ran)
+
+    def test_step_after_finish_raises(self, behavior_maps):
+        from repro.common import ControlError
+
+        simulation = build_simulation(
+            get_scenario("paper/fig4-module4", samples=4),
+            behavior_maps=behavior_maps,
+        )
+        simulation.run()
+        with pytest.raises(ControlError):
+            simulation.step()
+
+
+class TestRunnerValidation:
+    def test_unknown_scenario_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario(42)
+
+    def test_cluster_rejects_single_baseline_instance(self):
+        spec = Scenario.cluster(p=4).workload("wc98", samples=12).build()
+        with pytest.raises(ConfigurationError):
+            build_simulation(
+                spec, baseline=ThresholdDvfsController(paper_module_spec())
+            )
+
+    def test_steady_workload_builds_constant_trace(self):
+        from repro.scenario import build_trace
+
+        spec = (
+            Scenario.module()
+            .workload("steady", samples=10, rate=50.0)
+            .build()
+        )
+        trace = build_trace(spec)
+        assert len(trace) == 40  # 10 periods x 4 L0 bins
+        assert np.allclose(trace.counts, 50.0 * 30.0)

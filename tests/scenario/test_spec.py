@@ -1,0 +1,213 @@
+"""Validation and serialisation of the declarative scenario specs."""
+
+import dataclasses
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.scenario import (
+    ControlSpec,
+    FaultSpec,
+    PlantSpec,
+    Scenario,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+
+class TestPlantSpec:
+    def test_defaults_are_the_paper_module(self):
+        plant = PlantSpec()
+        assert plant.kind == "module"
+        assert plant.module_size == 4
+        assert plant.computer_count == 4
+
+    def test_cluster_counts(self):
+        plant = PlantSpec(kind="cluster", p=5, computers_per_module=4)
+        assert plant.computer_count == 20
+        assert plant.module_size == 4
+
+    def test_build_module_and_cluster(self):
+        assert PlantSpec(kind="module", m=6).build().size == 6
+        cluster = PlantSpec(kind="cluster", p=3).build()
+        assert cluster.module_count == 3
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlantSpec(kind="mainframe")
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlantSpec(m=0)
+        with pytest.raises(ConfigurationError):
+            PlantSpec(kind="cluster", p=-1)
+
+
+class TestWorkloadSpec:
+    def test_kind_defaults(self):
+        assert WorkloadSpec(kind="synthetic").resolved_samples == 1600
+        assert WorkloadSpec(kind="wc98").resolved_samples == 600
+
+    def test_explicit_samples_win(self):
+        assert WorkloadSpec(kind="wc98", samples=42).resolved_samples == 42
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(kind="flashcrowd")
+
+    def test_steady_requires_rate(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(kind="steady")
+        assert WorkloadSpec(kind="steady", rate=80.0).rate == 80.0
+
+    def test_rate_only_for_steady(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(kind="wc98", rate=80.0)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(scale=0.0)
+
+
+class TestControlSpec:
+    def test_hierarchy_default(self):
+        control = ControlSpec()
+        assert not control.is_baseline
+
+    def test_baseline_modes(self):
+        assert ControlSpec(mode="threshold-dvfs").is_baseline
+        assert ControlSpec(mode="always-on-max").is_baseline
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControlSpec(mode="magic")
+
+    def test_param_overrides_validated_eagerly(self):
+        ControlSpec(l0={"target_response": 2.0}, l1={"gamma_step": 0.1})
+        with pytest.raises(ConfigurationError):
+            ControlSpec(l0={"no_such_field": 1})
+        with pytest.raises(ConfigurationError):
+            ControlSpec(l1={"gamma_step": -0.5})
+
+    def test_baseline_params_need_baseline(self):
+        with pytest.raises(ConfigurationError):
+            ControlSpec(baseline_params={"upper": 0.8})
+
+
+class TestFaultSpec:
+    def test_events_normalised(self):
+        faults = FaultSpec(events=((120, 1, "fail"), (60.0, 0, "repair")))
+        assert faults.events == ((120.0, 1, "fail"), (60.0, 0, "repair"))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(events=((-1.0, 0, "fail"),))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(events=((0.0, 0, "explode"),))
+
+    def test_non_integer_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(events=((0.0, 1.5, "fail"),))
+
+
+class TestScenarioSpecValidation:
+    def test_fault_index_checked_against_plant(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                plant=PlantSpec(kind="module", m=4),
+                faults=FaultSpec(events=((0.0, 7, "fail"),)),
+            )
+
+    def test_faults_incompatible_with_baseline(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                control=ControlSpec(mode="always-on-max"),
+                faults=FaultSpec(events=((0.0, 0, "fail"),)),
+            )
+
+    def test_fault_beyond_trace_rejected(self):
+        """Shortening a failover drill below its fault times must fail
+        loudly, not silently run a healthy trace."""
+        from repro.scenario import get_scenario
+
+        with pytest.raises(ConfigurationError, match="beyond"):
+            get_scenario("module-failover", samples=12)
+        # at full length it still builds
+        assert get_scenario("module-failover").faults
+
+    def test_faults_incompatible_with_cluster(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                plant=PlantSpec(kind="cluster"),
+                faults=FaultSpec(events=((0.0, 0, "fail"),)),
+            )
+
+
+class TestSerialisation:
+    def _specimen(self) -> ScenarioSpec:
+        return (
+            Scenario.module(m=6)
+            .workload("synthetic", samples=120)
+            .control(l1={"gamma_step": 0.1}, warmup_intervals=12)
+            .with_failures((240.0, 2, "fail"), (960.0, 2, "repair"))
+            .seed(7)
+            .named("test/specimen")
+            .describe("round-trip specimen")
+            .build()
+        )
+
+    def test_dict_round_trip(self):
+        spec = self._specimen()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = self._specimen()
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_json_round_trip_cluster_baseline(self):
+        spec = (
+            Scenario.cluster(p=4)
+            .workload("wc98", samples=60)
+            .baseline("threshold-dvfs", upper=0.8)
+            .build()
+        )
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.control.baseline_params == {"upper": 0.8}
+
+    def test_to_dict_is_json_safe_plain_data(self):
+        import json
+
+        payload = self._specimen().to_dict()
+        json.dumps(payload)  # must not raise
+        assert isinstance(payload["faults"]["events"][0], list)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.from_dict({"plants": {}})
+
+    def test_unknown_nested_field_rejected_cleanly(self):
+        with pytest.raises(ConfigurationError, match="plant"):
+            ScenarioSpec.from_dict({"plant": {"bogus": 1}})
+        with pytest.raises(ConfigurationError, match="workload"):
+            ScenarioSpec.from_json('{"workload": {"bogus": 1}}')
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.from_json("{not json")
+
+    def test_with_overrides(self):
+        spec = self._specimen()
+        shorter = spec.with_overrides(samples=24, seed=9)
+        assert shorter.workload.samples == 24
+        assert shorter.seed == 9
+        # everything else untouched
+        assert shorter.control == spec.control
+        assert shorter.faults == spec.faults
+
+    def test_specs_are_frozen(self):
+        spec = self._specimen()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.seed = 1

@@ -16,6 +16,19 @@ class TestParser:
             assert args.command == command
             assert args.samples > 0
 
+    def test_run_command(self):
+        args = build_parser().parse_args(
+            ["run", "paper/fig4-module4", "--samples", "24"]
+        )
+        assert args.command == "run"
+        assert args.scenario == "paper/fig4-module4"
+        assert args.samples == 24
+        assert args.seed is None
+
+    def test_list_scenarios_command(self):
+        args = build_parser().parse_args(["list-scenarios"])
+        assert args.command == "list-scenarios"
+
     def test_overrides(self):
         args = build_parser().parse_args(["fig4", "--samples", "24", "--seed", "9"])
         assert args.samples == 24
@@ -37,3 +50,26 @@ class TestExecution:
         assert main(["overhead", "--samples", "12"]) == 0
         out = capsys.readouterr().out
         assert "L1 states/period" in out
+
+    def test_list_scenarios_smoke(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "paper/fig4-module4" in out
+        assert "paper/fig6-cluster16" in out
+        assert "cluster-baseline-showdown" in out
+
+    def test_run_scenario_smoke(self, capsys):
+        assert main(["run", "cluster-baseline-showdown", "--samples", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster-baseline-showdown" in out
+        assert "mean r" in out
+
+    def test_run_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["run", "paper/fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "paper/fig4-module4" in err  # suggests the registered names
+
+    def test_run_bad_samples_fails_cleanly(self, capsys):
+        assert main(["run", "paper/fig4-module4", "--samples", "0"]) == 2
+        assert "workload.samples" in capsys.readouterr().err

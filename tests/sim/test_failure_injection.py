@@ -154,6 +154,34 @@ class TestEndToEndRecovery:
                 failure_events=((0.0, 1, "explode"),),
             )
 
+    def test_negative_time_rejected(self, behavior_maps):
+        spec = paper_module_spec()
+        with pytest.raises(ConfigurationError):
+            ModuleSimulation(
+                spec, _steady_trace(periods=10),
+                behavior_maps=behavior_maps,
+                failure_events=((-60.0, 1, "fail"),),
+            )
+
+    def test_out_of_range_computer_index_rejected(self, behavior_maps):
+        spec = paper_module_spec()
+        for bad_index in (-1, 4, 99):
+            with pytest.raises(ConfigurationError):
+                ModuleSimulation(
+                    spec, _steady_trace(periods=10),
+                    behavior_maps=behavior_maps,
+                    failure_events=((0.0, bad_index, "fail"),),
+                )
+
+    def test_non_integer_computer_index_rejected(self, behavior_maps):
+        spec = paper_module_spec()
+        with pytest.raises(ConfigurationError):
+            ModuleSimulation(
+                spec, _steady_trace(periods=10),
+                behavior_maps=behavior_maps,
+                failure_events=((0.0, 1.5, "fail"),),
+            )
+
     def test_baseline_mode_rejects_failures(self):
         from repro.controllers import AlwaysOnMaxController
 
