@@ -54,7 +54,22 @@ Package map:
 ``repro.approximation``  lookup tables and CART regression trees
 ``repro.sim``       the stepwise co-simulation engine, observer hooks,
                     and structured results
+``repro.sweep``     declarative sweep specs over scenario fields,
+                    serial/process-pool execution into JSONL result
+                    stores, and group-by aggregation
 ==================  =====================================================
+
+Families of runs — the paper's figures are really statistics over
+seeds and sizes — go through the sweep subsystem::
+
+    from repro.sweep import GridAxis, SweepSpec, run_sweep, write_report
+
+    sweep = SweepSpec(
+        base="paper/fig4-module4",
+        axes=(GridAxis(field="seed", values=(0, 1, 2, 3)),),
+    )
+    run_sweep(sweep, "out/seeds", workers=4)
+    print(write_report("out/seeds"))
 
 The pre-1.1 entry points (``module_experiment``, ``cluster_experiment``)
 remain as deprecated shims over ``run_scenario``.
@@ -102,6 +117,17 @@ from repro.sim import (
     module_experiment,
     overhead_experiment,
 )
+from repro.sweep import (
+    GridAxis,
+    ListAxis,
+    RandomAxis,
+    SweepSpec,
+    get_sweep,
+    list_sweeps,
+    register_sweep,
+    run_sweep,
+    write_report,
+)
 from repro.workload import synthetic_trace, wc98_trace
 
 __version__ = "1.1.0"
@@ -113,25 +139,31 @@ __all__ = [
     "ComputerSpec",
     "ControlSpec",
     "FaultSpec",
+    "GridAxis",
     "L0Controller",
     "L0Params",
     "L1Controller",
     "L1Params",
     "L2Controller",
     "L2Params",
+    "ListAxis",
     "ModuleSimulation",
     "ModuleSpec",
     "PlantSpec",
+    "RandomAxis",
     "Scenario",
     "ScenarioSpec",
     "SimulationObserver",
     "SimulationOptions",
+    "SweepSpec",
     "ThresholdDvfsController",
     "ThresholdOnOffController",
     "WorkloadSpec",
     "cluster_experiment",
     "get_scenario",
+    "get_sweep",
     "list_scenarios",
+    "list_sweeps",
     "make_baseline",
     "module_experiment",
     "overhead_experiment",
@@ -139,8 +171,11 @@ __all__ = [
     "paper_module_spec",
     "processor_profile",
     "register_scenario",
+    "register_sweep",
     "run_scenario",
+    "run_sweep",
     "scaled_module_spec",
     "synthetic_trace",
     "wc98_trace",
+    "write_report",
 ]

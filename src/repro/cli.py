@@ -10,6 +10,23 @@ The scenario-first interface runs any registered scenario by name:
     python -m repro.cli run cluster-baseline-showdown --samples 120
     python -m repro.cli run module-failover --progress
 
+Running sweeps — whole families of scenarios (controller variants x
+seeds x sizes) execute through the sweep subsystem, optionally on a
+process pool, with results stored as JSONL and aggregated into tables:
+
+.. code-block:: bash
+
+    python -m repro.cli sweep list          # registered sweep campaigns
+    python -m repro.cli sweep run module-showdown --workers 4 \
+        --samples 120 --out out/showdown
+    python -m repro.cli sweep run my_sweep.json --out out/mine
+    python -m repro.cli sweep report out/showdown
+    python -m repro.cli sweep report out/showdown --json
+
+``sweep run`` resumes: re-invoking it on a half-finished ``--out``
+directory executes only the missing runs. Serial (``--workers 1``) and
+parallel executions produce byte-identical stores and reports.
+
 The legacy figure commands remain as aliases over the registry:
 
 .. code-block:: bash
@@ -79,6 +96,15 @@ def _cmd_run(args: argparse.Namespace) -> None:
     scenario = get_scenario(args.scenario, samples=args.samples, seed=args.seed)
     observers = (ProgressObserver(every=args.progress),) if args.progress else ()
     result = run_scenario(scenario, observers=observers)
+    if args.json:
+        import json
+
+        payload = {
+            "scenario": scenario.name or args.scenario,
+            "summary": result.summary().to_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
     print(f"=== {scenario.name or args.scenario} ===")
     if scenario.description:
         print(scenario.description)
@@ -89,11 +115,119 @@ def _cmd_run(args: argparse.Namespace) -> None:
         _render_module_result(result)
 
 
+def _one_line(text: str) -> str:
+    """Collapse a description onto a single line."""
+    return " ".join(text.split())
+
+
 def _cmd_list_scenarios(args: argparse.Namespace) -> None:
-    rows = list_scenarios()
+    rows = list_scenarios()  # sorted by name
     width = max(len(row.name) for row in rows)
     for row in rows:
-        print(f"{row.name:<{width}}  {row.description}")
+        print(f"{row.name:<{width}}  {_one_line(row.description)}")
+
+
+def _load_sweep(spec: str):
+    """A registered sweep name, or a path to a SweepSpec JSON file."""
+    import os
+
+    from repro.common.errors import ConfigurationError
+    from repro.sweep import SweepSpec, get_sweep
+
+    if spec.endswith(".json") or os.path.isfile(spec):
+        if not os.path.isfile(spec):
+            raise ConfigurationError(f"sweep spec file not found: {spec}")
+        with open(spec) as handle:
+            return SweepSpec.from_json(handle.read())
+    return get_sweep(spec)
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> None:
+    from repro.sweep import run_sweep, write_report
+
+    sweep = _load_sweep(args.sweep)
+    group_by = _group_by(args)
+    if group_by:
+        # Fail a typo'd --group-by in milliseconds, not after the
+        # campaign's full compute.
+        from repro.common.errors import ConfigurationError
+
+        unknown = [f for f in group_by if f not in sweep.axis_fields]
+        if unknown:
+            raise ConfigurationError(
+                f"group-by fields {unknown} not among the swept keys: "
+                f"{', '.join(sweep.axis_fields)}"
+            )
+    total = sweep.size()
+    progress = {"done": 0}
+
+    def on_start(pending: int, total_runs: int) -> None:
+        # Count already-stored runs so a resumed campaign ends at
+        # [total/total], not at [pending/total].
+        progress["done"] = total_runs - pending
+        if progress["done"]:
+            print(
+                f"resuming: {progress['done']} of {total_runs} runs already "
+                "stored",
+                file=sys.stderr,
+            )
+
+    def on_run(point, metrics) -> None:
+        progress["done"] += 1
+        knobs = " ".join(f"{k}={v}" for k, v in sorted(point.overrides.items()))
+        print(
+            f"[{progress['done']:>{len(str(total))}}/{total}] {point.run_id}  "
+            f"{knobs}  mean r = {metrics['mean_response']:.3f} s",
+            file=sys.stderr,
+        )
+
+    report = run_sweep(
+        sweep,
+        args.out,
+        workers=args.workers,
+        samples=args.samples,
+        on_run=on_run,
+        on_start=on_start,
+    )
+    print(report, file=sys.stderr)
+    print(write_report(args.out, group_by=group_by))
+
+
+def _group_by(args: argparse.Namespace) -> "tuple[str, ...] | None":
+    if getattr(args, "group_by", None) is None:
+        return None
+    return tuple(field for field in args.group_by.split(",") if field)
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> None:
+    from repro.sweep import (
+        aggregate_rows,
+        render_table,
+        report_payload,
+        ResultStore,
+    )
+
+    store = ResultStore(args.dir)
+    groups = aggregate_rows(store.rows(), group_by=_group_by(args))
+    if args.json:
+        import json
+
+        payload = report_payload(groups, sweep_name=store.header().get("name", ""))
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_table(groups))
+
+
+def _cmd_sweep_list(args: argparse.Namespace) -> None:
+    from repro.sweep import list_sweeps
+
+    rows = list_sweeps()
+    if not rows:
+        print("(no sweeps registered)")
+        return
+    width = max(len(row.name) for row in rows)
+    for row in rows:
+        print(f"{row.name:<{width}}  [{row.runs} runs]  {_one_line(row.description)}")
 
 
 def _cmd_fig4(args: argparse.Namespace) -> None:
@@ -194,10 +328,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", type=int, nargs="?", const=30, default=0,
         metavar="N", help="report progress every N control periods",
     )
+    run.add_argument(
+        "--json", action="store_true",
+        help="emit the run summary as JSON to stdout (no charts)",
+    )
 
     subparsers.add_parser(
         "list-scenarios", help="list the registered scenarios"
     )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run and aggregate families of scenarios"
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="execute a sweep (resumes a half-finished store)"
+    )
+    sweep_run.add_argument(
+        "sweep", help="registered sweep name (see `sweep list`) or spec.json path"
+    )
+    sweep_run.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="result store directory (runs.jsonl + reports)",
+    )
+    sweep_run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="process-pool width; 1 runs serially (default)",
+    )
+    sweep_run.add_argument(
+        "--samples", type=int, default=None,
+        help="override the base scenario's run length before expansion",
+    )
+    sweep_run.add_argument(
+        "--group-by", default=None, metavar="FIELDS",
+        help="comma-separated axis fields for the report "
+        "(default: every swept field except seed)",
+    )
+
+    sweep_report = sweep_sub.add_parser(
+        "report", help="aggregate a result store into a table"
+    )
+    sweep_report.add_argument("dir", help="result store directory")
+    sweep_report.add_argument(
+        "--json", action="store_true", help="emit the aggregate as JSON"
+    )
+    sweep_report.add_argument(
+        "--group-by", default=None, metavar="FIELDS",
+        help="comma-separated axis fields "
+        "(default: every swept field except seed)",
+    )
+
+    sweep_sub.add_parser("list", help="list the registered sweeps")
 
     for name, (_, default_samples) in _COMMANDS.items():
         sub = subparsers.add_parser(name)
@@ -219,6 +401,13 @@ def main(argv: "list[str] | None" = None) -> int:
             _cmd_run(args)
         elif args.command == "list-scenarios":
             _cmd_list_scenarios(args)
+        elif args.command == "sweep":
+            handler = {
+                "run": _cmd_sweep_run,
+                "report": _cmd_sweep_report,
+                "list": _cmd_sweep_list,
+            }[args.sweep_command]
+            handler(args)
         else:
             handler, _ = _COMMANDS[args.command]
             handler(args)

@@ -47,6 +47,36 @@ def require_in(value: object, options: Iterable[object], name: str) -> object:
     return value
 
 
+def require_payload_keys(
+    payload: object,
+    known: Iterable[str],
+    label: str,
+    complete: bool = False,
+) -> dict:
+    """Validate a ``to_dict``-style payload against its field names.
+
+    The payload must be a dict whose keys are drawn from ``known`` —
+    all of them present when ``complete`` is set. Returns the payload
+    unchanged. Shared by the ``from_dict`` constructors so every spec
+    rejects malformed payloads the same way.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"{label} payload must be a dict, got {type(payload).__name__}"
+        )
+    known = set(known)
+    unknown = set(payload) - known
+    if unknown:
+        raise ConfigurationError(f"unknown {label} fields: {sorted(unknown)}")
+    if complete:
+        missing = known - set(payload)
+        if missing:
+            raise ConfigurationError(
+                f"missing {label} fields: {sorted(missing)}"
+            )
+    return payload
+
+
 def require_failure_events(
     events: Iterable[object],
     size: int | None = None,

@@ -21,6 +21,7 @@ from repro.common.validation import (
     require_failure_events,
     require_in,
     require_non_negative,
+    require_payload_keys,
     require_positive,
 )
 from repro.controllers.baselines import BASELINES
@@ -260,16 +261,9 @@ class ScenarioSpec:
     @classmethod
     def from_dict(cls, payload: dict) -> "ScenarioSpec":
         """Rebuild a spec from :meth:`to_dict` output (validates again)."""
-        if not isinstance(payload, dict):
-            raise ConfigurationError(
-                f"scenario payload must be a dict, got {type(payload).__name__}"
-            )
-        known = {f.name for f in dataclasses.fields(cls)}
-        unknown = set(payload) - known
-        if unknown:
-            raise ConfigurationError(
-                f"unknown scenario fields: {sorted(unknown)}"
-            )
+        require_payload_keys(
+            payload, (f.name for f in dataclasses.fields(cls)), "scenario"
+        )
         data = dict(payload)
         for key, sub_cls in (
             ("plant", PlantSpec),
@@ -310,17 +304,93 @@ class ScenarioSpec:
     # Convenience
     # ------------------------------------------------------------------
 
-    def with_overrides(
-        self, samples: int | None = None, seed: int | None = None
-    ) -> "ScenarioSpec":
-        """A copy with the run length and/or seed replaced.
+    _PARTS = (
+        ("plant", PlantSpec),
+        ("workload", WorkloadSpec),
+        ("control", ControlSpec),
+        ("faults", FaultSpec),
+    )
 
-        These are the two knobs the CLI and tests routinely shorten;
-        everything else requires building a new spec.
+    #: Shorthand override keys and the dotted fields they resolve to.
+    OVERRIDE_ALIASES = {"samples": "workload.samples"}
+
+    @classmethod
+    def override_keys(cls) -> "tuple[str, ...]":
+        """Every key :meth:`with_overrides` accepts.
+
+        ``samples`` and ``seed`` are shorthands; nested part fields use
+        dotted ``part.field`` form (``plant.m``, ``control.mode``, ...).
         """
-        spec = self
+        keys = ["name", "description", "samples", "seed"]
+        for part_name, part_cls in cls._PARTS:
+            keys.extend(
+                f"{part_name}.{f.name}" for f in dataclasses.fields(part_cls)
+            )
+        return tuple(keys)
+
+    def with_overrides(
+        self, samples: int | None = None, seed: int | None = None, **overrides
+    ) -> "ScenarioSpec":
+        """A copy with selected fields replaced (revalidated as a whole).
+
+        ``samples`` and ``seed`` are the knobs the CLI and tests
+        routinely shorten. Any other field is reachable through a dotted
+        ``part.field`` key or a part-level dict, which is what sweep
+        axes expand through::
+
+            spec.with_overrides(**{"plant.m": 6, "control.mode": "threshold-dvfs"})
+            spec.with_overrides(workload={"scale": 1.5})
+
+        Unknown keys raise :class:`ConfigurationError` naming the valid
+        ones; the replacement spec re-runs every validation rule.
+        """
         if samples is not None:
-            spec = replace(spec, workload=replace(spec.workload, samples=samples))
+            overrides["samples"] = samples
         if seed is not None:
-            spec = replace(spec, seed=seed)
-        return spec
+            overrides["seed"] = seed
+        valid = self.override_keys()
+
+        def reject(key) -> "ConfigurationError":
+            return ConfigurationError(
+                f"unknown override key {key!r}; valid keys: {', '.join(valid)}"
+            )
+
+        part_updates: "dict[str, dict]" = {name: {} for name, _ in self._PARTS}
+        updates: dict = {}
+
+        def set_part(part_name: str, sub_key: str, value) -> None:
+            # The same target is reachable through several routes (the
+            # `samples` shorthand, a dotted key, a part dict); a second
+            # write would silently shadow the first, so conflicts fail.
+            if sub_key in part_updates[part_name]:
+                raise ConfigurationError(
+                    f"conflicting overrides for {part_name}.{sub_key} "
+                    "(given through more than one key)"
+                )
+            part_updates[part_name][sub_key] = value
+
+        for key, value in overrides.items():
+            if key == "samples":
+                set_part("workload", "samples", value)
+            elif key in ("name", "description", "seed"):
+                updates[key] = value
+            elif key in part_updates:
+                if not isinstance(value, dict):
+                    raise ConfigurationError(
+                        f"part override {key!r} must be a dict of field "
+                        f"values (e.g. {key}={{...}}), got "
+                        f"{type(value).__name__}"
+                    )
+                for sub_key, sub_value in value.items():
+                    if f"{key}.{sub_key}" not in valid:
+                        raise reject(f"{key}.{sub_key}")
+                    set_part(key, sub_key, sub_value)
+            elif key in valid:
+                part_name, _, sub_key = key.partition(".")
+                set_part(part_name, sub_key, value)
+            else:
+                raise reject(key)
+        for part_name, fields_ in part_updates.items():
+            if fields_:
+                updates[part_name] = replace(getattr(self, part_name), **fields_)
+        return replace(self, **updates) if updates else self

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +25,23 @@ class RunSummary:
     mean_computers_on: float
     controller_seconds: float
     l1_mean_states: float
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; JSON-safe and loss-free."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunSummary":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        from repro.common.validation import require_payload_keys
+
+        require_payload_keys(
+            payload,
+            (f.name for f in dataclasses.fields(cls)),
+            "run summary",
+            complete=True,
+        )
+        return cls(**payload)
 
     def __str__(self) -> str:
         return (

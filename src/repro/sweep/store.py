@@ -1,0 +1,189 @@
+"""Append-only JSONL stores for sweep results.
+
+One directory per sweep campaign. ``runs.jsonl`` starts with a header
+row pinning the sweep's content digest, followed by one row per
+completed run. Rows are written in expansion order with sorted keys, so
+a serial and a parallel execution of the same sweep produce
+byte-identical files — and a restarted execution recognises which runs
+an earlier invocation already finished and skips them.
+
+Stored metrics are the deterministic subset of
+:class:`~repro.sim.results.RunSummary`: ``controller_seconds`` is
+wall-clock time, which varies per host and per backend, so it is
+excluded to keep stores comparable and resumable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.errors import ConfigurationError
+from repro.sim.results import RunSummary
+from repro.sweep.spec import SweepPoint, SweepSpec
+
+#: RunSummary fields persisted per run — every deterministic metric.
+SUMMARY_METRICS = (
+    "mean_response",
+    "violation_fraction",
+    "total_energy",
+    "base_energy",
+    "dynamic_energy",
+    "transient_energy",
+    "switch_ons",
+    "switch_offs",
+    "mean_computers_on",
+    "l1_mean_states",
+)
+
+_STORE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunRow:
+    """One stored run: its identity, overrides, and metrics."""
+
+    index: int
+    run_id: str
+    overrides: dict
+    metrics: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "run",
+            "index": self.index,
+            "run_id": self.run_id,
+            "overrides": self.overrides,
+            "metrics": self.metrics,
+        }
+
+
+class ResultStore:
+    """A sweep campaign's on-disk results: ``<directory>/runs.jsonl``."""
+
+    def __init__(self, directory: "Path | str") -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "runs.jsonl"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def prepare(self, sweep: SweepSpec, samples: int | None = None) -> "set[str]":
+        """Create or adopt the store; return the completed ``run_id`` set.
+
+        A fresh directory gets a header row. An existing store is
+        adopted only when its header matches the sweep's content digest
+        *and* the ``samples`` override — results from a different sweep
+        (or the same sweep at a different run length) must never be
+        silently extended.
+        """
+        if self.path.exists():
+            header = self._read_header()
+            if header.get("digest") != sweep.digest() or (
+                header.get("samples") != samples
+            ):
+                raise ConfigurationError(
+                    f"store at {self.directory} was written by a different "
+                    f"sweep ({header.get('name') or 'unnamed'}, "
+                    f"samples={header.get('samples')!r}); use a fresh --out "
+                    "directory or delete the old one"
+                )
+            self._truncate_torn_tail()
+            return {row.run_id for row in self.rows()}
+        self.directory.mkdir(parents=True, exist_ok=True)
+        header = {
+            "kind": "sweep-header",
+            "version": _STORE_VERSION,
+            "name": sweep.name,
+            "digest": sweep.digest(),
+            "samples": samples,
+        }
+        with open(self.path, "w") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+        return set()
+
+    def append(self, point: SweepPoint, summary: "RunSummary | dict") -> RunRow:
+        """Persist one finished run (flushed, crash-tolerant)."""
+        payload = summary.to_dict() if isinstance(summary, RunSummary) else summary
+        row = RunRow(
+            index=point.index,
+            run_id=point.run_id,
+            overrides=dict(point.overrides),
+            metrics={name: payload[name] for name in SUMMARY_METRICS},
+        )
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(row.to_dict(), sort_keys=True) + "\n")
+            handle.flush()
+        return row
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop a trailing partial line left by a crash mid-append.
+
+        Without this, the next ``append()`` (mode ``"a"``) would write
+        onto the torn fragment and merge two rows into one unparseable
+        line — losing a finished run and breaking byte-identity with an
+        uninterrupted store. The repair truncates in place (never
+        rewrites the file), so it cannot lose committed rows even if
+        interrupted itself.
+        """
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        os.truncate(self.path, data.rfind(b"\n") + 1)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def _read_header(self) -> dict:
+        with open(self.path) as handle:
+            first = handle.readline()
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError:
+            header = None
+        if not isinstance(header, dict) or header.get("kind") != "sweep-header":
+            raise ConfigurationError(
+                f"{self.path} is not a sweep result store (bad header line)"
+            )
+        if header.get("version") != _STORE_VERSION:
+            raise ConfigurationError(
+                f"{self.path} uses store version {header.get('version')!r}; "
+                f"this build reads version {_STORE_VERSION}"
+            )
+        return header
+
+    def header(self) -> dict:
+        """The store's header row (sweep name and digest)."""
+        if not self.path.exists():
+            raise ConfigurationError(f"no sweep store at {self.directory}")
+        return self._read_header()
+
+    def rows(self) -> "tuple[RunRow, ...]":
+        """All completed runs, sorted by expansion index.
+
+        A torn final line (killed mid-write) is ignored; the run it
+        belonged to simply re-executes on resume. Duplicate run ids keep
+        the first occurrence.
+        """
+        self.header()  # validates existence and shape
+        rows: "dict[str, RunRow]" = {}
+        with open(self.path) as handle:
+            for line in list(handle)[1:]:
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(payload, dict) or payload.get("kind") != "run":
+                    continue
+                row = RunRow(
+                    index=int(payload["index"]),
+                    run_id=str(payload["run_id"]),
+                    overrides=dict(payload["overrides"]),
+                    metrics=dict(payload["metrics"]),
+                )
+                rows.setdefault(row.run_id, row)
+        return tuple(sorted(rows.values(), key=lambda row: row.index))

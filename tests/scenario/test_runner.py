@@ -7,7 +7,12 @@ from repro.cluster import paper_module_spec
 from repro.common import ConfigurationError
 from repro.controllers import L1Controller, ThresholdDvfsController
 from repro.scenario import Scenario, build_simulation, get_scenario, run_scenario
-from repro.sim import ClusterSimulation, HookCounter, ModuleSimulation
+from repro.sim import (
+    ClusterSimulation,
+    HookCounter,
+    ModuleSimulation,
+    SimulationObserver,
+)
 from repro.sim.experiments import cluster_experiment, module_experiment
 
 
@@ -158,6 +163,58 @@ class TestObserverIntegration:
         assert counter.counts["l1_decision"] == 40
         assert counter.counts["step"] == 10 * 4 * 4
         assert counter.counts["period_end"] == 10
+        assert counter.counts["run_start"] == 1
+        assert counter.counts["run_end"] == 1
+
+    def test_cluster_baseline_hook_ordering(self):
+        """Baseline cluster runs emit the same event grammar as the
+        hierarchy: per period, the L2 split precedes every module
+        decision, decisions precede that period's steps, and the period
+        closes after its last step."""
+
+        class SequenceObserver(SimulationObserver):
+            def __init__(self):
+                self.events = []
+
+            def on_run_start(self, simulation):
+                self.events.append(("run_start",))
+
+            def on_l2_decision(self, event):
+                self.events.append(("l2", event.period))
+
+            def on_l1_decision(self, event):
+                self.events.append(("l1", event.period, event.module))
+
+            def on_step(self, event):
+                self.events.append(("step", event.step, event.module))
+
+            def on_period_end(self, event):
+                self.events.append(("period_end", event.period))
+
+            def on_run_end(self, result):
+                self.events.append(("run_end",))
+
+        periods, p = 5, 4
+        observer = SequenceObserver()
+        run_scenario(
+            get_scenario("cluster-baseline-showdown", samples=periods),
+            observers=(observer,),
+        )
+        events = observer.events
+        assert events[0] == ("run_start",)
+        assert events[-1] == ("run_end",)
+        substeps = 4  # 120 s period / 30 s L0 steps
+        per_period = 1 + p + substeps * p + 1  # l2 + l1s + steps + close
+        for period in range(periods):
+            chunk = events[1 + period * per_period : 1 + (period + 1) * per_period]
+            assert chunk[0] == ("l2", period)
+            # Every module decides, in module order, before any step runs.
+            assert chunk[1 : 1 + p] == [("l1", period, i) for i in range(p)]
+            steps = chunk[1 + p : -1]
+            assert all(tag == "step" for tag, *_ in steps)
+            # Each global step fans out to modules 0..p-1 in order.
+            assert [module for _, _, module in steps] == list(range(p)) * substeps
+            assert chunk[-1] == ("period_end", period)
 
     def test_observer_sees_what_results_see(self, behavior_maps):
         class PowerStream:

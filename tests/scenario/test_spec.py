@@ -211,3 +211,92 @@ class TestSerialisation:
         spec = self._specimen()
         with pytest.raises(dataclasses.FrozenInstanceError):
             spec.seed = 1
+
+
+class TestWithOverrides:
+    """Nested-part overrides — the seam sweep axes expand through."""
+
+    def _spec(self) -> ScenarioSpec:
+        return Scenario.module(m=4).workload("synthetic", samples=48).build()
+
+    def test_unknown_key_names_valid_fields(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            self._spec().with_overrides(**{"plant.q": 3})
+        message = str(excinfo.value)
+        assert "plant.q" in message
+        assert "plant.m" in message and "control.mode" in message
+        assert "\n" not in message  # one-line error
+
+    def test_unknown_bare_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="samples"):
+            self._spec().with_overrides(smaples=12)  # the classic typo
+
+    def test_dotted_part_overrides(self):
+        spec = self._spec().with_overrides(
+            **{"plant.m": 6, "control.mode": "threshold-dvfs", "seed": 3}
+        )
+        assert spec.plant.m == 6
+        assert spec.control.mode == "threshold-dvfs"
+        assert spec.seed == 3
+        # untouched siblings survive
+        assert spec.workload.samples == 48
+        assert spec.plant.kind == "module"
+
+    def test_part_dict_overrides_merge(self):
+        spec = self._spec().with_overrides(
+            workload={"kind": "steady", "rate": 80.0, "samples": 20}
+        )
+        assert spec.workload.kind == "steady"
+        assert spec.workload.rate == 80.0
+        assert spec.workload.samples == 20
+
+    def test_part_dict_rejects_unknown_inner_key(self):
+        with pytest.raises(ConfigurationError, match="plant.q"):
+            self._spec().with_overrides(plant={"q": 1})
+
+    def test_part_key_with_non_dict_value_gets_targeted_error(self):
+        with pytest.raises(ConfigurationError, match="must be a dict"):
+            self._spec().with_overrides(plant=PlantSpec(m=6))
+        with pytest.raises(ConfigurationError, match="must be a dict"):
+            self._spec().with_overrides(workload=5)
+
+    def test_conflicting_alias_routes_rejected(self):
+        """`samples`, `workload.samples`, and workload={...} all hit the
+        same field; two routes in one call must fail, not shadow."""
+        spec = self._spec()
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            spec.with_overrides(samples=5, **{"workload.samples": 6})
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            spec.with_overrides(samples=5, workload={"samples": 6})
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            spec.with_overrides(
+                workload={"samples": 5}, **{"workload.samples": 6}
+            )
+
+    def test_overridden_spec_is_revalidated(self):
+        with pytest.raises(ConfigurationError):
+            self._spec().with_overrides(**{"plant.m": 0})
+        with pytest.raises(ConfigurationError):
+            self._spec().with_overrides(**{"workload.rate": 50.0})  # not steady
+
+    def test_top_level_name_and_description(self):
+        spec = self._spec().with_overrides(name="x", description="y")
+        assert (spec.name, spec.description) == ("x", "y")
+
+    def test_fault_events_overridable(self):
+        spec = self._spec().with_overrides(
+            **{"faults.events": ((240.0, 1, "fail"),)}
+        )
+        assert spec.faults.events == ((240.0, 1, "fail"),)
+
+    def test_no_overrides_returns_self(self):
+        spec = self._spec()
+        assert spec.with_overrides() is spec
+
+    def test_override_keys_lists_every_part_field(self):
+        keys = ScenarioSpec.override_keys()
+        for expected in (
+            "samples", "seed", "plant.m", "workload.scale",
+            "control.l1", "faults.events",
+        ):
+            assert expected in keys

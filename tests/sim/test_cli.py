@@ -29,6 +29,32 @@ class TestParser:
         args = build_parser().parse_args(["list-scenarios"])
         assert args.command == "list-scenarios"
 
+    def test_run_json_flag(self):
+        args = build_parser().parse_args(["run", "paper/fig4-module4", "--json"])
+        assert args.json is True
+
+    def test_sweep_run_command(self):
+        args = build_parser().parse_args(
+            ["sweep", "run", "module-showdown", "--workers", "2",
+             "--out", "out/x", "--samples", "8"]
+        )
+        assert (args.command, args.sweep_command) == ("sweep", "run")
+        assert args.sweep == "module-showdown"
+        assert (args.workers, args.out, args.samples) == (2, "out/x", 8)
+
+    def test_sweep_run_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "run", "module-showdown"])
+
+    def test_sweep_report_command(self):
+        args = build_parser().parse_args(
+            ["sweep", "report", "out/x", "--json", "--group-by", "plant.m,seed"]
+        )
+        assert args.sweep_command == "report"
+        assert args.dir == "out/x"
+        assert args.json is True
+        assert args.group_by == "plant.m,seed"
+
     def test_overrides(self):
         args = build_parser().parse_args(["fig4", "--samples", "24", "--seed", "9"])
         assert args.samples == 24
@@ -73,3 +99,82 @@ class TestExecution:
     def test_run_bad_samples_fails_cleanly(self, capsys):
         assert main(["run", "paper/fig4-module4", "--samples", "0"]) == 2
         assert "workload.samples" in capsys.readouterr().err
+
+    def test_run_json_emits_summary(self, capsys):
+        import json
+
+        assert main(
+            ["run", "module-baseline-threshold-dvfs", "--samples", "10", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "module-baseline-threshold-dvfs"
+        assert payload["summary"]["total_energy"] > 0
+        assert "mean_response" in payload["summary"]
+
+    def test_list_scenarios_sorted_one_line_each(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        names = [line.split()[0] for line in lines]
+        assert names == sorted(names)
+        assert all("\t" not in line for line in lines)
+
+    def test_sweep_list_smoke(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "module-showdown" in out
+        assert "[16 runs]" in out
+
+    def test_sweep_run_and_report_smoke(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "store")
+        assert main(
+            ["sweep", "run", "module-seeds", "--samples", "6",
+             "--out", out_dir]
+        ) == 0
+        table = capsys.readouterr().out
+        assert "mean_response" in table
+        assert main(["sweep", "report", out_dir]) == 0
+        assert capsys.readouterr().out.strip() in table
+        assert main(["sweep", "report", out_dir, "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep"] == "module-seeds"
+        assert payload["groups"][0]["count"] == 8
+
+    def test_sweep_run_spec_file(self, tmp_path, capsys):
+        from repro.scenario import Scenario
+        from repro.sweep import GridAxis, SweepSpec
+
+        sweep = SweepSpec(
+            name="from-file",
+            base=(
+                Scenario.module(m=4)
+                .workload("synthetic", samples=6)
+                .baseline("threshold-dvfs")
+                .build()
+            ),
+            axes=(GridAxis(field="seed", values=(0, 1)),),
+        )
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(sweep.to_json())
+        out_dir = str(tmp_path / "store")
+        assert main(["sweep", "run", str(spec_path), "--out", out_dir]) == 0
+        assert "mean_response" in capsys.readouterr().out
+
+    def test_sweep_missing_spec_file_fails_cleanly(self, capsys):
+        assert main(["sweep", "run", "nope.json", "--out", "/tmp/x"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_sweep_run_bad_group_by_fails_before_running(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "store")
+        assert main(
+            ["sweep", "run", "module-seeds", "--samples", "6",
+             "--out", out_dir, "--group-by", "plant.q"]
+        ) == 2
+        assert "plant.q" in capsys.readouterr().err
+        # Nothing was executed or stored.
+        assert not (tmp_path / "store").exists()
+
+    def test_sweep_report_missing_store_fails_cleanly(self, tmp_path, capsys):
+        assert main(["sweep", "report", str(tmp_path / "nope")]) == 2
+        assert "no sweep store" in capsys.readouterr().err

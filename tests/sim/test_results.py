@@ -80,6 +80,41 @@ class TestModuleRunResult:
         assert "mean r" in text and "energy" in text and "switches" in text
 
 
+class TestRunSummarySerialisation:
+    def test_dict_round_trip(self):
+        summary = _module_result().summary()
+        assert RunSummary.from_dict(summary.to_dict()) == summary
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        payload = _module_result().summary().to_dict()
+        json.loads(json.dumps(payload))  # must not raise
+        assert payload["switch_ons"] == 2
+
+    def test_unknown_field_rejected(self):
+        from repro.common import ConfigurationError
+
+        payload = _module_result().summary().to_dict()
+        payload["bogus"] = 1
+        with pytest.raises(ConfigurationError, match="bogus"):
+            RunSummary.from_dict(payload)
+
+    def test_missing_field_rejected(self):
+        from repro.common import ConfigurationError
+
+        payload = _module_result().summary().to_dict()
+        del payload["total_energy"]
+        with pytest.raises(ConfigurationError, match="total_energy"):
+            RunSummary.from_dict(payload)
+
+    def test_non_dict_rejected(self):
+        from repro.common import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            RunSummary.from_dict([1, 2, 3])
+
+
 class TestClusterRunResult:
     def _cluster(self):
         modules = [_module_result(), _module_result(energy=(1.0, 1.0, 0.0))]

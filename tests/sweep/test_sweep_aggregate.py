@@ -1,0 +1,108 @@
+"""Group-by aggregation and report rendering."""
+
+import json
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.sweep import (
+    SUMMARY_METRICS,
+    aggregate_rows,
+    render_table,
+    report_payload,
+)
+from repro.sweep.store import RunRow
+
+
+def _row(index: int, overrides: dict, **metrics) -> RunRow:
+    payload = {name: 0.0 for name in SUMMARY_METRICS}
+    payload.update(metrics)
+    return RunRow(
+        index=index,
+        run_id=f"{index:04d}-deadbeef",
+        overrides=overrides,
+        metrics=payload,
+    )
+
+
+def _rows():
+    return (
+        _row(0, {"control.mode": "hierarchy", "seed": 0}, mean_response=1.0),
+        _row(1, {"control.mode": "hierarchy", "seed": 1}, mean_response=3.0),
+        _row(2, {"control.mode": "threshold-dvfs", "seed": 0}, mean_response=8.0),
+        _row(3, {"control.mode": "threshold-dvfs", "seed": 1}, mean_response=10.0),
+    )
+
+
+class TestAggregateRows:
+    def test_default_groups_over_everything_but_seed(self):
+        groups = aggregate_rows(_rows())
+        assert [group.key for group in groups] == [
+            {"control.mode": "hierarchy"},
+            {"control.mode": "threshold-dvfs"},
+        ]
+        assert [group.count for group in groups] == [2, 2]
+
+    def test_mean_std_min_max(self):
+        groups = aggregate_rows(_rows())
+        hierarchy = groups[0].metrics["mean_response"]
+        assert hierarchy.mean == pytest.approx(2.0)
+        assert hierarchy.std == pytest.approx(1.0)  # population std
+        assert (hierarchy.min, hierarchy.max) == (1.0, 3.0)
+        assert hierarchy.count == 2
+
+    def test_every_stored_metric_aggregated(self):
+        groups = aggregate_rows(_rows())
+        assert set(groups[0].metrics) == set(SUMMARY_METRICS)
+
+    def test_explicit_group_by(self):
+        groups = aggregate_rows(_rows(), group_by=("seed",))
+        assert [group.key for group in groups] == [{"seed": 0}, {"seed": 1}]
+
+    def test_empty_group_by_collapses_to_one_group(self):
+        groups = aggregate_rows(_rows(), group_by=())
+        assert len(groups) == 1
+        assert groups[0].count == 4
+        assert groups[0].metrics["mean_response"].mean == pytest.approx(5.5)
+
+    def test_unknown_group_by_rejected(self):
+        with pytest.raises(ConfigurationError, match="group-by"):
+            aggregate_rows(_rows(), group_by=("plant.q",))
+
+    def test_no_rows_rejected(self):
+        with pytest.raises(ConfigurationError, match="no completed runs"):
+            aggregate_rows(())
+
+    def test_mixed_key_types_order_stably(self):
+        rows = (
+            _row(0, {"workload.scale": 1.5}),
+            _row(1, {"workload.scale": "auto"}),
+            _row(2, {"workload.scale": 0.5}),
+        )
+        groups = aggregate_rows(rows)
+        # Numbers first (ascending), then strings.
+        assert [g.key["workload.scale"] for g in groups] == [0.5, 1.5, "auto"]
+
+
+class TestRendering:
+    def test_table_is_aligned_and_complete(self):
+        table = render_table(aggregate_rows(_rows()))
+        lines = table.splitlines()
+        assert lines[0].startswith("control.mode")
+        assert "runs" in lines[0] and "mean_response" in lines[0]
+        assert len(lines) == 4  # header + ruler + two groups
+        assert "hierarchy" in lines[2] and "threshold-dvfs" in lines[3]
+
+    def test_single_run_cell_has_no_std(self):
+        rows = (_row(0, {"seed": 0}, mean_response=2.5),)
+        table = render_table(aggregate_rows(rows, group_by=()))
+        assert "±" not in table
+
+    def test_payload_shape(self):
+        payload = report_payload(aggregate_rows(_rows()), sweep_name="x")
+        json.dumps(payload)  # must be JSON-safe
+        assert payload["sweep"] == "x"
+        assert payload["group_by"] == ["control.mode"]
+        assert len(payload["groups"]) == 2
+        metrics = payload["groups"][0]["metrics"]["mean_response"]
+        assert set(metrics) == {"count", "mean", "std", "min", "max"}

@@ -1,0 +1,164 @@
+"""JSONL result stores: headers, rows, resume bookkeeping, corruption."""
+
+import json
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.scenario import Scenario
+from repro.sweep import GridAxis, ResultStore, SUMMARY_METRICS, SweepSpec
+
+
+def _sweep():
+    return SweepSpec(
+        name="store-test",
+        base=Scenario.module(m=4).workload("synthetic", samples=8).build(),
+        axes=(GridAxis(field="seed", values=(0, 1, 2)),),
+    )
+
+
+def _summary_dict(value: float = 1.0) -> dict:
+    payload = {name: value for name in SUMMARY_METRICS}
+    payload["controller_seconds"] = 123.456  # wall-clock noise, never stored
+    return payload
+
+
+class TestPrepare:
+    def test_fresh_store_writes_header(self, tmp_path):
+        sweep = _sweep()
+        store = ResultStore(tmp_path / "out")
+        assert store.prepare(sweep) == set()
+        header = store.header()
+        assert header["name"] == "store-test"
+        assert header["digest"] == sweep.digest()
+
+    def test_reopen_same_sweep_returns_done_ids(self, tmp_path):
+        sweep = _sweep()
+        store = ResultStore(tmp_path)
+        store.prepare(sweep)
+        point = sweep.expand()[0]
+        store.append(point, _summary_dict())
+        assert ResultStore(tmp_path).prepare(sweep) == {point.run_id}
+
+    def test_different_sweep_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.prepare(_sweep())
+        other = SweepSpec(
+            name="other",
+            base="paper/fig4-module4",
+            axes=(GridAxis(field="seed", values=(9,)),),
+        )
+        with pytest.raises(ConfigurationError, match="different"):
+            store.prepare(other)
+
+    def test_different_samples_override_rejected(self, tmp_path):
+        sweep = _sweep()
+        store = ResultStore(tmp_path)
+        store.prepare(sweep, samples=8)
+        with pytest.raises(ConfigurationError, match="different"):
+            store.prepare(sweep, samples=4)
+
+    def test_non_store_file_rejected(self, tmp_path):
+        (tmp_path / "runs.jsonl").write_text("not a store\n")
+        with pytest.raises(ConfigurationError, match="header"):
+            ResultStore(tmp_path).prepare(_sweep())
+
+
+class TestRows:
+    def test_metrics_exclude_wall_clock(self, tmp_path):
+        sweep = _sweep()
+        store = ResultStore(tmp_path)
+        store.prepare(sweep)
+        row = store.append(sweep.expand()[0], _summary_dict())
+        assert set(row.metrics) == set(SUMMARY_METRICS)
+        assert "controller_seconds" not in row.metrics
+
+    def test_rows_sorted_by_index(self, tmp_path):
+        sweep = _sweep()
+        store = ResultStore(tmp_path)
+        store.prepare(sweep)
+        points = sweep.expand()
+        for point in (points[2], points[0], points[1]):
+            store.append(point, _summary_dict(point.index))
+        assert [row.index for row in store.rows()] == [0, 1, 2]
+
+    def test_torn_final_line_ignored(self, tmp_path):
+        sweep = _sweep()
+        store = ResultStore(tmp_path)
+        store.prepare(sweep)
+        points = sweep.expand()
+        store.append(points[0], _summary_dict())
+        with open(store.path, "a") as handle:
+            handle.write('{"kind": "run", "index": 1, "run_')  # killed mid-write
+        assert [row.index for row in store.rows()] == [0]
+        assert store.prepare(sweep) == {points[0].run_id}
+
+    def test_prepare_truncates_torn_tail_before_appending(self, tmp_path):
+        """A crash mid-append must not corrupt the next resumed row."""
+        sweep = _sweep()
+        store = ResultStore(tmp_path)
+        store.prepare(sweep)
+        points = sweep.expand()
+        store.append(points[0], _summary_dict())
+        clean = store.path.read_bytes()
+        with open(store.path, "a") as handle:
+            handle.write('{"kind": "run", "index": 1, "run_')
+        store.prepare(sweep)  # reconciles: drops the torn fragment
+        assert store.path.read_bytes() == clean
+        store.append(points[1], _summary_dict())
+        assert [row.index for row in store.rows()] == [0, 1]
+
+    def test_registry_drift_invalidates_store(self, tmp_path):
+        """A store built from a named base must not be extended after the
+        registered scenario's definition changes underneath it."""
+        from repro.scenario import Scenario, register_scenario
+        from repro.sweep import SweepSpec as Spec
+
+        def factory(samples):
+            def build():
+                return (
+                    Scenario.module(m=4)
+                    .workload("synthetic", samples=samples)
+                    .describe("drift-test fixture")  # registry-wide tests
+                    .build()                         # require a description
+                )
+
+            return build
+
+        register_scenario("test/drifting", replace_existing=True)(factory(8))
+        sweep = Spec(
+            base="test/drifting",
+            axes=(GridAxis(field="seed", values=(0,)),),
+        )
+        store = ResultStore(tmp_path)
+        store.prepare(sweep)
+        # The registry entry changes between invocations...
+        register_scenario("test/drifting", replace_existing=True)(factory(16))
+        # ...and the store refuses to mix the two definitions.
+        with pytest.raises(ConfigurationError, match="different"):
+            store.prepare(sweep)
+
+    def test_duplicate_run_ids_keep_first(self, tmp_path):
+        sweep = _sweep()
+        store = ResultStore(tmp_path)
+        store.prepare(sweep)
+        point = sweep.expand()[0]
+        store.append(point, _summary_dict(1.0))
+        store.append(point, _summary_dict(2.0))
+        rows = store.rows()
+        assert len(rows) == 1
+        assert rows[0].metrics["total_energy"] == 1.0
+
+    def test_missing_store_errors(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no sweep store"):
+            ResultStore(tmp_path / "nowhere").rows()
+
+    def test_rows_are_json_per_line(self, tmp_path):
+        sweep = _sweep()
+        store = ResultStore(tmp_path)
+        store.prepare(sweep)
+        store.append(sweep.expand()[0], _summary_dict())
+        lines = store.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "sweep-header"
+        assert json.loads(lines[1])["kind"] == "run"
