@@ -15,8 +15,6 @@ exponentially larger search space.
 
 import os
 
-import numpy as np
-
 from repro.sim.experiments import cluster_experiment
 
 SAMPLES = 60 if os.environ.get("REPRO_BENCH_FAST") else 200

@@ -10,6 +10,15 @@ The scenario-first interface runs any registered scenario by name:
     python -m repro.cli run cluster-baseline-showdown --samples 120
     python -m repro.cli run module-failover --progress
 
+Cluster scenarios also run sharded — one worker process per module,
+bit-identical output (``--json`` emits only deterministic metrics, so
+the two are byte-comparable):
+
+.. code-block:: bash
+
+    python -m repro.cli run paper/fig6-cluster16 --execution sharded
+    python -m repro.cli run cluster-baseline-showdown --shard-workers 2 --json
+
 Running sweeps — whole families of scenarios (controller variants x
 seeds x sizes) execute through the sweep subsystem, optionally on a
 process pool, with results stored as JSONL and aggregated into tables:
@@ -41,8 +50,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-
-import numpy as np
 
 from repro.common.ascii_chart import line_chart, sparkline
 from repro.scenario import get_scenario, list_scenarios, run_scenario
@@ -94,14 +101,26 @@ def _render_cluster_result(
 
 def _cmd_run(args: argparse.Namespace) -> None:
     scenario = get_scenario(args.scenario, samples=args.samples, seed=args.seed)
+    overrides: dict = {}
+    if args.shard_workers is not None:
+        overrides["control.shard_workers"] = args.shard_workers
+        if args.execution is None:
+            overrides["control.execution"] = "sharded"
+    if args.execution is not None:
+        overrides["control.execution"] = args.execution
+    if overrides:
+        scenario = scenario.with_overrides(**overrides)
     observers = (ProgressObserver(every=args.progress),) if args.progress else ()
     result = run_scenario(scenario, observers=observers)
     if args.json:
         import json
 
+        # Only the deterministic metrics: serial and sharded runs of the
+        # same scenario must print byte-identical JSON (the CI gate
+        # `cmp`s them), and wall-clock controller time never could.
         payload = {
             "scenario": scenario.name or args.scenario,
-            "summary": result.summary().to_dict(),
+            "summary": result.summary().deterministic_dict(),
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return
@@ -161,10 +180,16 @@ def _cmd_sweep_run(args: argparse.Namespace) -> None:
     total = sweep.size()
     progress = {"done": 0}
 
-    def on_start(pending: int, total_runs: int) -> None:
+    def on_start(pending: int, total_runs: int, workers: int) -> None:
         # Count already-stored runs so a resumed campaign ends at
         # [total/total], not at [pending/total].
         progress["done"] = total_runs - pending
+        if pending:
+            print(
+                f"running {pending} of {total_runs} runs on {workers} "
+                f"worker{'' if workers == 1 else 's'}",
+                file=sys.stderr,
+            )
         if progress["done"]:
             print(
                 f"resuming: {progress['done']} of {total_runs} runs already "
@@ -325,6 +350,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=None)
     run.add_argument(
+        "--execution", choices=("serial", "sharded"), default=None,
+        help="cluster execution backend (sharded = one worker per module; "
+        "bit-identical results)",
+    )
+    run.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="cap the sharded worker-process count (implies --execution "
+        "sharded; default one worker per module)",
+    )
+    run.add_argument(
         "--progress", type=int, nargs="?", const=30, default=0,
         metavar="N", help="report progress every N control periods",
     )
@@ -353,8 +388,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="result store directory (runs.jsonl + reports)",
     )
     sweep_run.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="process-pool width; 1 runs serially (default)",
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool width; 1 runs serially "
+        "(default: min(cpu count, run count))",
     )
     sweep_run.add_argument(
         "--samples", type=int, default=None,

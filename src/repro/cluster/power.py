@@ -9,7 +9,7 @@ where the joules went.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.validation import require_non_negative
 

@@ -9,7 +9,7 @@ the module-of-four experiment uses four heterogeneous computers C1..C4 with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

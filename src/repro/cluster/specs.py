@@ -8,7 +8,7 @@ twenty-computer five-module variant).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import require_non_negative, require_positive

@@ -23,6 +23,15 @@ def require_positive(value: float, name: str) -> float:
     return value
 
 
+def require_positive_int(value: object, name: str) -> int:
+    """Return ``value`` if a positive int (bools rejected), else raise."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ConfigurationError(
+            f"{name} must be a positive int, got {value!r}"
+        )
+    return value
+
+
 def require_non_negative(value: float, name: str) -> float:
     """Return ``value`` if >= 0, else raise ConfigurationError."""
     if not value >= 0:
@@ -122,6 +131,62 @@ def require_failure_events(
                 f"{name} computer index must be in {bound}, got {index}"
             )
         validated.append((time, index, kind))
+    return tuple(validated)
+
+
+def require_cluster_failure_events(
+    events: Iterable[object],
+    module_count: int | None = None,
+    module_size: int | None = None,
+    name: str = "failure_events",
+) -> "tuple[tuple[float, int, int, str], ...]":
+    """Validate a sequence of cluster-level failure-injection events.
+
+    Each event is a ``(time_seconds, module_index, computer_index,
+    'fail'|'repair')`` tuple with a non-negative time and, when the
+    bounds are given, a module index within ``[0, module_count)`` and a
+    computer index within ``[0, module_size)``. Returns the normalised
+    tuple (times as floats, indices as ints). Shared by the declarative
+    ``FaultSpec`` and ``ClusterSimulation`` so both reject the same
+    malformed inputs.
+    """
+    validated = []
+    for event in events:
+        if not isinstance(event, Sequence) or len(event) != 4:
+            raise ConfigurationError(
+                f"{name} entries are (time_seconds, module_index, "
+                f"computer_index, 'fail'|'repair') tuples, got {event!r}"
+            )
+        time, module_index, computer_index, kind = event
+        if kind not in ("fail", "repair"):
+            raise ConfigurationError(
+                f"{name} kind must be 'fail' or 'repair', got {kind!r}"
+            )
+        try:
+            time = float(time)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"{name} time must be a number, got {event[0]!r}"
+            ) from None
+        if not time >= 0:
+            raise ConfigurationError(f"{name} time must be >= 0, got {time!r}")
+        indices = []
+        for index, bound, label in (
+            (module_index, module_count, "module"),
+            (computer_index, module_size, "computer"),
+        ):
+            if not isinstance(index, (int, np.integer)) or isinstance(index, bool):
+                raise ConfigurationError(
+                    f"{name} {label} index must be an integer, got {index!r}"
+                )
+            index = int(index)
+            if index < 0 or (bound is not None and index >= bound):
+                span = f"[0, {bound})" if bound is not None else ">= 0"
+                raise ConfigurationError(
+                    f"{name} {label} index must be in {span}, got {index}"
+                )
+            indices.append(index)
+        validated.append((time, indices[0], indices[1], kind))
     return tuple(validated)
 
 

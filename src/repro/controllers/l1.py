@@ -47,7 +47,6 @@ from repro.controllers.params import L0Params, L1Params
 from repro.controllers.stats import ControllerStats
 from repro.core.simplex import quantize_to_simplex, simplex_neighbors
 from repro.core.uncertainty import three_point_band
-from repro.forecast.band import UncertaintyBand
 from repro.forecast.ewma import EwmaFilter
 from repro.forecast.structural import WorkloadPredictor
 

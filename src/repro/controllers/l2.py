@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common.errors import ConfigurationError, ControlError
+from repro.common.errors import ConfigurationError
 from repro.approximation.training import TrainingSet, train_tree
 from repro.approximation.regression_tree import RegressionTree
 from repro.cluster.specs import ModuleSpec

@@ -16,7 +16,8 @@ baseline name fails at the call site, not deep inside a run::
     spec = (
         Scenario.cluster(p=4)
         .workload("wc98", samples=300)
-        .with_failures()  # no-op; failures are module-level today
+        .execution("sharded")       # one worker process per module
+        .with_failures((3600.0, 1, 0, "fail"))  # module 1, computer 0
         .build()
     )
 """
@@ -26,7 +27,11 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.common.errors import ConfigurationError
-from repro.common.validation import require_failure_events, require_in
+from repro.common.validation import (
+    require_cluster_failure_events,
+    require_failure_events,
+    require_in,
+)
 from repro.controllers.baselines import BASELINES
 from repro.scenario.spec import (
     HIERARCHY_MODE,
@@ -134,13 +139,38 @@ class Scenario:
         self._control = replace(self._control, **updates)
         return self
 
-    def with_failures(
-        self, *events: "tuple[float, int, str]"
+    def execution(
+        self, mode: str, shard_workers: int | None = None
     ) -> "Scenario":
-        """Inject ``(time_seconds, computer_index, 'fail'|'repair')`` events."""
-        validated = require_failure_events(
-            events, self._plant.module_size, "fault events"
-        )
+        """Pick the cluster execution backend: ``"serial"`` or ``"sharded"``.
+
+        ``shard_workers`` caps the sharded worker-process count (default
+        one per module). Results are bit-identical across backends.
+        """
+        updates: dict = {"execution": mode}
+        if shard_workers is not None:
+            updates["shard_workers"] = shard_workers
+        self._control = replace(self._control, **updates)
+        return self
+
+    def with_failures(self, *events: tuple) -> "Scenario":
+        """Inject failure/repair events.
+
+        Module scenarios take ``(time_seconds, computer_index,
+        'fail'|'repair')`` tuples; cluster scenarios take
+        ``(time_seconds, module_index, computer_index, 'fail'|'repair')``.
+        """
+        if self._plant.kind == "cluster":
+            validated = require_cluster_failure_events(
+                events,
+                self._plant.p,
+                self._plant.computers_per_module,
+                "fault events",
+            )
+        else:
+            validated = require_failure_events(
+                events, self._plant.module_size, "fault events"
+            )
         self._faults = FaultSpec(events=self._faults.events + validated)
         return self
 

@@ -177,6 +177,9 @@ def build_simulation(
         options=options,
         baseline=control.mode if control.is_baseline else None,
         baseline_params=control.baseline_params or None,
+        execution=control.execution,
+        shard_workers=control.shard_workers,
+        failure_events=scenario.faults.events,
     )
 
 

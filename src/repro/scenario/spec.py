@@ -14,18 +14,22 @@ from __future__ import annotations
 
 import dataclasses
 import json
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import (
+    require_cluster_failure_events,
     require_failure_events,
     require_in,
     require_non_negative,
     require_payload_keys,
     require_positive,
+    require_positive_int,
 )
 from repro.controllers.baselines import BASELINES
 from repro.controllers.params import L0Params, L1Params, L2Params
+from repro.sim.shard import EXECUTION_MODES
 
 #: Plant families a scenario can instantiate.
 PLANT_KINDS = ("module", "cluster")
@@ -147,6 +151,11 @@ class ControlSpec:
     every module pinned to the policy. The ``l0``/``l1``/``l2`` dicts
     override individual fields of :class:`L0Params`/:class:`L1Params`/
     :class:`L2Params` and are validated eagerly on construction.
+
+    ``execution`` picks the cluster backend: ``"serial"`` (default) or
+    ``"sharded"`` — one persistent worker process per module (capped at
+    ``shard_workers`` when set), producing bit-identical results to the
+    serial path. Only cluster plants accept ``"sharded"``.
     """
 
     mode: str = HIERARCHY_MODE
@@ -156,6 +165,8 @@ class ControlSpec:
     l2: dict = field(default_factory=dict)
     warmup_intervals: int = 48
     mean_work: float = 0.0175
+    execution: str = "serial"
+    shard_workers: int | None = None
 
     def __post_init__(self) -> None:
         modes = (HIERARCHY_MODE, *BASELINES)
@@ -166,6 +177,13 @@ class ControlSpec:
             )
         require_non_negative(self.warmup_intervals, "control.warmup_intervals")
         require_positive(self.mean_work, "control.mean_work")
+        require_in(self.execution, EXECUTION_MODES, "control.execution")
+        if self.shard_workers is not None:
+            require_positive_int(self.shard_workers, "control.shard_workers")
+            if self.execution != "sharded":
+                raise ConfigurationError(
+                    "control.shard_workers requires control.execution = 'sharded'"
+                )
         # Validate the overrides eagerly (and the values they carry).
         _params_or_raise(L0Params, self.l0, "L0Params")
         _params_or_raise(L1Params, self.l1, "L1Params")
@@ -181,18 +199,43 @@ class ControlSpec:
 class FaultSpec:
     """Failure/repair events to inject during the run.
 
-    Events are ``(time_seconds, computer_index, 'fail'|'repair')``
-    tuples, validated on construction (non-negative times, integral
-    indices). The index range against the concrete plant is checked by
-    :class:`ScenarioSpec`, which knows the module size.
+    Module-plant events are ``(time_seconds, computer_index,
+    'fail'|'repair')`` tuples; cluster-plant events carry a module index
+    too: ``(time_seconds, module_index, computer_index, 'fail'|'repair')``.
+    Both forms are validated on construction (non-negative times,
+    integral indices); the two may not be mixed, and index ranges
+    against the concrete plant are checked by :class:`ScenarioSpec`,
+    which knows the plant shape.
     """
 
-    events: "tuple[tuple[float, int, str], ...]" = ()
+    events: tuple = ()
 
     def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "events", require_failure_events(self.events, None, "fault events")
-        )
+        for event in self.events:
+            if not isinstance(event, Sequence) or isinstance(event, str):
+                raise ConfigurationError(
+                    "fault events are (time, [module,] computer, "
+                    f"'fail'|'repair') tuples, got {event!r}"
+                )
+        events = tuple(tuple(event) for event in self.events)
+        if any(len(event) == 4 for event in events):
+            if not all(len(event) == 4 for event in events):
+                raise ConfigurationError(
+                    "fault events must be uniformly module-level "
+                    "(time, computer, kind) or cluster-level "
+                    "(time, module, computer, kind), not a mix"
+                )
+            events = require_cluster_failure_events(
+                events, None, None, "fault events"
+            )
+        else:
+            events = require_failure_events(events, None, "fault events")
+        object.__setattr__(self, "events", events)
+
+    @property
+    def is_cluster_level(self) -> bool:
+        """True when the events carry module indices (cluster plants)."""
+        return bool(self.events) and len(self.events[0]) == 4
 
     def __bool__(self) -> bool:
         return bool(self.events)
@@ -219,19 +262,37 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"seed must be a non-negative int, got {self.seed!r}"
             )
+        if self.control.execution == "sharded" and self.plant.kind != "cluster":
+            raise ConfigurationError(
+                "control.execution = 'sharded' requires a cluster plant "
+                "(sharding fans modules out, and a module plant has none)"
+            )
         if self.faults:
-            if self.plant.kind != "module":
-                raise ConfigurationError(
-                    "fault injection is currently supported for module "
-                    "plants only"
-                )
             if self.control.is_baseline:
                 raise ConfigurationError(
                     "fault injection is supported in hierarchy mode only"
                 )
-            require_failure_events(
-                self.faults.events, self.plant.module_size, "fault events"
-            )
+            if self.plant.kind == "module":
+                if self.faults.is_cluster_level:
+                    raise ConfigurationError(
+                        "module plants take (time, computer, 'fail'|'repair') "
+                        "fault events; the module index form is for clusters"
+                    )
+                require_failure_events(
+                    self.faults.events, self.plant.module_size, "fault events"
+                )
+            else:
+                if not self.faults.is_cluster_level:
+                    raise ConfigurationError(
+                        "cluster plants take (time, module, computer, "
+                        "'fail'|'repair') fault events"
+                    )
+                require_cluster_failure_events(
+                    self.faults.events,
+                    self.plant.p,
+                    self.plant.computers_per_module,
+                    "fault events",
+                )
             # Events beyond the trace would silently never fire — a
             # shortened failover drill must fail loudly, not read as a
             # healthy run (e.g. `--samples` overrides on module-failover).

@@ -32,8 +32,15 @@ from repro.sim.observers import (
     StepEvent,
 )
 from repro.sim.results import ClusterRunResult, ModuleRunResult, RunSummary
+from repro.sim.shard import (
+    EXECUTION_MODES,
+    ModuleShardRunner,
+    ShardWorkerPool,
+    resolve_shard_workers,
+)
 
 __all__ = [
+    "EXECUTION_MODES",
     "ClusterRunResult",
     "ClusterSimulation",
     "DiscreteEventModuleSimulation",
@@ -42,15 +49,18 @@ __all__ = [
     "L1DecisionEvent",
     "L2DecisionEvent",
     "ModuleRunResult",
+    "ModuleShardRunner",
     "ModuleSimulation",
     "ObserverList",
     "PeriodEvent",
     "ProgressObserver",
     "RunSummary",
+    "ShardWorkerPool",
     "SimulationObserver",
     "SimulationOptions",
     "StepEvent",
     "cluster_experiment",
     "module_experiment",
     "overhead_experiment",
+    "resolve_shard_workers",
 ]

@@ -25,17 +25,25 @@ rest of the run, and ``finish()`` assembles the structured result.
 at every seam; the result arrays themselves are accumulated by recorder
 observers riding the same interface, so streaming consumers see exactly
 what the results see.
+
+Cluster runs execute on either of two backends behind the same
+protocol: serial (every module advanced in-process) or sharded — one
+persistent worker process per module (:mod:`repro.sim.shard`), with
+bit-identical events and results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
 from repro.common.errors import ConfigurationError, ControlError
-from repro.common.validation import require_failure_events
+from repro.common.validation import (
+    require_cluster_failure_events,
+    require_failure_events,
+)
 from repro.cluster.module import Module
 from repro.cluster.specs import ClusterSpec, ModuleSpec
 from repro.controllers.baselines import _BaselineBase, make_baseline
@@ -56,6 +64,14 @@ from repro.sim.observers import (
     StepEvent,
 )
 from repro.sim.results import ClusterRunResult, ModuleRunResult
+from repro.sim.shard import (
+    EXECUTION_MODES,
+    ModuleBoundaryInput,
+    ModulePeriodInput,
+    ModuleShardRunner,
+    ModuleStepInput,
+    ShardWorkerPool,
+)
 from repro.workload.trace import ArrivalTrace
 
 
@@ -401,6 +417,15 @@ class ClusterSimulation:
     its own baseline controller — no abstraction-map training, no
     lookahead. This is the §5.2 analogue of the module-level baselines,
     which the original run-to-completion API could not express.
+
+    ``execution`` selects the backend: ``"serial"`` advances every module
+    in-process; ``"sharded"`` ships each module's per-period inputs to a
+    pool of persistent worker processes (:mod:`repro.sim.shard`, up to
+    ``shard_workers`` of them, default one per module) and replays the
+    events in serial order — results are bit-for-bit identical across
+    backends. ``failure_events`` injects cluster-level faults as
+    ``(time_seconds, module_index, computer_index, 'fail'|'repair')``
+    tuples (hierarchy mode only, like the module-level engine).
     """
 
     def __init__(
@@ -414,6 +439,9 @@ class ClusterSimulation:
         options: SimulationOptions | None = None,
         baseline: "str | Callable[[ModuleSpec], _BaselineBase] | None" = None,
         baseline_params: "dict | None" = None,
+        execution: str = "serial",
+        shard_workers: "int | None" = None,
+        failure_events: "tuple[tuple[float, int, int, str], ...]" = (),
     ) -> None:
         self.spec = spec
         self.l0_params = l0_params or L0Params()
@@ -430,6 +458,33 @@ class ClusterSimulation:
             raise ConfigurationError(
                 "baseline_params given without a baseline policy"
             )
+        if execution not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
+            )
+        if shard_workers is not None and execution != "sharded":
+            raise ConfigurationError(
+                "shard_workers only applies to sharded execution"
+            )
+        self.execution = execution
+        self.shard_workers = shard_workers
+        validated_events = require_cluster_failure_events(
+            failure_events, spec.module_count, None
+        )
+        for _, module_index, computer_index, _ in validated_events:
+            if computer_index >= spec.modules[module_index].size:
+                raise ConfigurationError(
+                    f"failure_events computer index {computer_index} out of "
+                    f"range for module {module_index} "
+                    f"(size {spec.modules[module_index].size})"
+                )
+        if validated_events and baseline is not None:
+            raise ConfigurationError(
+                "failure injection is supported in hierarchy mode only"
+            )
+        self.failure_events = tuple(
+            sorted(validated_events, key=lambda e: e[0])
+        )
         self.baselines: "list[_BaselineBase] | None" = None
         self._behavior_maps: list[list[ComputerBehaviorMap]] = []
         self.module_maps: list[ModuleCostMap] = []
@@ -518,10 +573,16 @@ class ClusterSimulation:
         self, observers: "Iterable[SimulationObserver]" = ()
     ) -> "ClusterSimulation":
         """Prepare a fresh run: plants, controller banks, tuned filters."""
+        self.close()
         p = self.spec.module_count
         steps = self.total_steps
         periods = self.periods
-        plants = [Module(s, initially_on=True) for s in self.spec.modules]
+        # Per-module dispatcher streams are seeded from (seed, module
+        # index) so serial and sharded backends draw identically.
+        plants = [
+            Module(s, initially_on=True, seed=self.options.seed + i)
+            for i, s in enumerate(self.spec.modules)
+        ]
         if self.baselines is None:
             l1s = [
                 L1Controller(
@@ -543,39 +604,63 @@ class ClusterSimulation:
             ModuleRecorder(steps, s.size, periods, module=i)
             for i, s in enumerate(self.spec.modules)
         ]
+        self._tune_predictors(l1s, fine_predictor)
+        runners = [
+            ModuleShardRunner(
+                module_index=i,
+                plant=plants[i],
+                controller=l1s[i],
+                l0_bank=l0_banks[i],
+                l0_params=self.l0_params,
+                mean_work=self.options.mean_work,
+                is_baseline=self.baselines is not None,
+                failure_events=tuple(
+                    (time, computer, kind)
+                    for time, module_index, computer, kind in self.failure_events
+                    if module_index == i
+                ),
+            )
+            for i in range(p)
+        ]
         state = _ClusterRunState(
-            plants=plants,
-            l1s=l1s,
-            l0_banks=l0_banks,
-            fine_predictor=fine_predictor,
             cluster_recorder=cluster_recorder,
             module_recorders=module_recorders,
             sink=ObserverList((cluster_recorder, *module_recorders, *observers)),
-            alphas=[np.ones(s.size, dtype=bool) for s in self.spec.modules],
-            gammas_module=[
-                np.full(s.size, 1.0 / s.size) for s in self.spec.modules
-            ],
+            fine_predictor=fine_predictor,
             gamma_modules=(
                 np.full(p, 1.0 / p)
                 if self.baselines is None
                 else self._static_gamma.copy()
             ),
             interval_module=np.zeros(p),
+            runners=runners,
+            last_queue_lengths=[runner.plant.queue_lengths for runner in runners],
         )
-        self._tune_predictors(l1s, fine_predictor)
+        if self.execution == "sharded":
+            state.pool = ShardWorkerPool(runners, self.shard_workers)
+            state.shard_worker_count = state.pool.workers
+            # The parent's runner copies must not be touched again: the
+            # authoritative module state now lives in the workers.
+            state.runners = None
         self._state = state
         state.sink.on_run_start(self)
         return self
+
+    @property
+    def effective_shard_workers(self) -> "int | None":
+        """Worker-process count of the current sharded run (None if serial)."""
+        state = getattr(self, "_state", None)
+        return None if state is None else state.shard_worker_count
 
     def step(self) -> "list[StepEvent]":
         """Advance one T_L0 period; returns one event per module."""
         state = self._require_state()
         if state.k >= self.total_steps:
             raise ControlError("simulation already finished; call reset()")
-        if self.baselines is None:
-            events = self._step_hierarchy(state)
+        if state.pool is not None:
+            events = self._step_sharded(state)
         else:
-            events = self._step_baseline(state)
+            events = self._step_serial(state)
         k = state.k
         if (k + 1) % self.substeps == 0 or k + 1 == self.total_steps:
             state.sink.on_period_end(
@@ -588,197 +673,172 @@ class ClusterSimulation:
         state.k = k + 1
         return events
 
-    def _step_hierarchy(self, state: "_ClusterRunState") -> "list[StepEvent]":
+    def _step_serial(self, state: "_ClusterRunState") -> "list[StepEvent]":
         k = state.k
-        p = self.spec.module_count
-        plants, l1s, l0_banks = state.plants, state.l1s, state.l0_banks
-        work = self.options.mean_work
-
         if k % self.substeps == 0:
-            index = k // self.substeps
-            if k > 0:
-                self.l2.observe(state.interval_global, work)
-                for i in range(p):
-                    l1s[i].observe(state.interval_module[i], work)
-            global_prediction = float(self.l2.predictor.forecast(1)[0])
-            state.interval_global = 0.0
-            state.interval_module[:] = 0.0
-            queue_avgs = np.array(
-                [plant.queue_lengths.mean() for plant in plants]
-            )
-            l2_decision = self.l2.act(queue_avgs, state.gamma_modules)
-            state.gamma_modules = l2_decision.gamma
-            state.sink.on_l2_decision(
-                L2DecisionEvent(
-                    period=index,
-                    gamma=state.gamma_modules.copy(),
-                    prediction=global_prediction,
-                )
-            )
-            # Each module's load estimate is its share of the global
-            # forecast (the paper's lambda_hat_i = gamma_i *
-            # lambda_hat_g), so gamma reassignments do not read as
-            # workload swings to the L1 Kalman filters.
-            global_counts = self.l2.predictor.forecast(2)
-            global_delta = self.l2.predictor.band.delta
-            for i in range(p):
-                rate_hat = (
-                    state.gamma_modules[i] * global_counts[0] / self.l2_params.period
-                )
-                rate_next = (
-                    state.gamma_modules[i] * global_counts[1] / self.l2_params.period
-                )
-                delta = (
-                    state.gamma_modules[i] * global_delta / self.l2_params.period
-                    if self.l1_params.use_uncertainty_band
-                    else 0.0
-                )
-                prediction = state.gamma_modules[i] * global_counts[0]
-                decision = l1s[i].decide(
-                    plants[i].queue_lengths,
-                    state.alphas[i],
-                    rate_hat=rate_hat,
-                    rate_next=rate_next,
-                    delta=delta,
-                    work=l1s[i].work_estimate,
-                )
-                state.alphas[i] = decision.alpha.astype(bool)
-                state.gammas_module[i] = decision.gamma
-                plants[i].apply_configuration(state.alphas[i])
-                state.sink.on_l1_decision(
-                    L1DecisionEvent(
-                        period=index,
-                        module=i,
-                        alpha=state.alphas[i].copy(),
-                        gamma=state.gammas_module[i].copy(),
-                        prediction=prediction,
-                    )
-                )
-
-        arrivals = float(self.trace.counts[k])
-        state.interval_global += arrivals
-        shares = state.gamma_modules * arrivals
-        global_forecast = (
-            state.fine_predictor.forecast(self.l0_params.horizon)
-            / self.l0_params.period
-        )
+            l2_event, boundaries = self._parent_boundary(state, k)
+            state.sink.on_l2_decision(l2_event)
+            for runner, boundary in zip(state.runners, boundaries):
+                state.sink.on_l1_decision(runner.begin_period(boundary))
         events = []
-        for i in range(p):
-            state.interval_module[i] += shares[i]
-            freq_row = np.zeros(self.spec.modules[i].size)
-            for j, (computer, l0) in enumerate(
-                zip(plants[i].computers, l0_banks[i])
-            ):
-                if computer.is_serving:
-                    local_forecast = (
-                        state.gamma_modules[i]
-                        * state.gammas_module[i][j]
-                        * global_forecast
-                    )
-                    freq = l0.decide(
-                        computer.queue_length, local_forecast, l0.work_estimate
-                    )
-                    computer.set_frequency_index(freq.frequency_index)
-                freq_row[j] = computer.frequency_ghz
-            results = plants[i].step_fluid(
-                shares[i], work, self.l0_params.period, state.gammas_module[i]
-            )
-            response_row = np.empty(self.spec.modules[i].size)
-            queue_row = np.empty(self.spec.modules[i].size)
-            for j, result in enumerate(results):
-                response_row[j] = result.response_time
-                queue_row[j] = result.queue
-                l0_banks[i][j].work_filter.observe(work)
-            event = StepEvent(
-                step=k,
-                time=k * self.l0_params.period,
-                module=i,
-                arrivals=shares[i],
-                frequencies=freq_row,
-                responses=response_row,
-                queues=queue_row,
-                power=plants[i].total_power(results),
-            )
+        for runner, step_input in zip(state.runners, self._parent_step(state, k)):
+            event = runner.step(step_input)
             state.sink.on_step(event)
             events.append(event)
-        state.fine_predictor.observe(arrivals)
         return events
 
-    def _step_baseline(self, state: "_ClusterRunState") -> "list[StepEvent]":
+    def _step_sharded(self, state: "_ClusterRunState") -> "list[StepEvent]":
+        if not state.step_buffer:
+            self._dispatch_period(state)
+        events = state.step_buffer.pop(0)
+        for event in events:
+            state.sink.on_step(event)
+        return events
+
+    def _dispatch_period(self, state: "_ClusterRunState") -> None:
+        """Ship one whole control period to the workers, buffer the events.
+
+        Only ever runs at a period boundary (the step buffer drains
+        exactly there). The parent advances its cross-module state (L2
+        controller, global predictors, interval accumulators) for the
+        full period first — it depends only on the trace and the
+        previous period's module outputs — then replays the workers'
+        events in the serial emission order, so observers cannot tell
+        the backends apart.
+        """
         k = state.k
         p = self.spec.module_count
-        plants, controllers = state.plants, state.l1s
-        work = self.options.mean_work
+        l2_event, boundaries = self._parent_boundary(state, k)
+        end = min(k + self.substeps, self.total_steps)
+        step_inputs = [self._parent_step(state, kk) for kk in range(k, end)]
+        period_inputs = {
+            i: ModulePeriodInput(
+                boundary=boundaries[i],
+                steps=tuple(row[i] for row in step_inputs),
+            )
+            for i in range(p)
+        }
+        outputs = state.pool.run_period(period_inputs)
+        state.last_queue_lengths = [outputs[i].queue_lengths for i in range(p)]
+        state.sink.on_l2_decision(l2_event)
+        for i in range(p):
+            state.sink.on_l1_decision(outputs[i].l1_event)
+        state.step_buffer = [
+            [outputs[i].step_events[s] for i in range(p)]
+            for s in range(end - k)
+        ]
 
-        if k % self.substeps == 0:
-            index = k // self.substeps
+    def _parent_boundary(
+        self, state: "_ClusterRunState", k: int
+    ) -> "tuple[L2DecisionEvent, list[ModuleBoundaryInput]]":
+        """Close the previous period and compute every module's set-points."""
+        index = k // self.substeps
+        now = k * self.l0_params.period
+        work = self.options.mean_work
+        p = self.spec.module_count
+        observed = state.interval_module.copy() if k > 0 else None
+        if self.baselines is not None:
             if k > 0:
                 self._global_predictor.observe(state.interval_global)
-                for i in range(p):
-                    controllers[i].observe(state.interval_module[i], work)
             global_prediction = float(self._global_predictor.forecast(1)[0])
             state.interval_global = 0.0
             state.interval_module[:] = 0.0
-            state.sink.on_l2_decision(
-                L2DecisionEvent(
+            l2_event = L2DecisionEvent(
+                period=index,
+                gamma=state.gamma_modules.copy(),
+                prediction=global_prediction,
+            )
+            boundaries = [
+                ModuleBoundaryInput(
                     period=index,
-                    gamma=state.gamma_modules.copy(),
-                    prediction=global_prediction,
+                    now=now,
+                    observed_arrivals=(
+                        None if observed is None else float(observed[i])
+                    ),
+                )
+                for i in range(p)
+            ]
+            return l2_event, boundaries
+        if k > 0:
+            self.l2.observe(state.interval_global, work)
+        global_prediction = float(self.l2.predictor.forecast(1)[0])
+        state.interval_global = 0.0
+        state.interval_module[:] = 0.0
+        queue_avgs = np.array(
+            [queue_lengths.mean() for queue_lengths in state.module_queue_lengths()]
+        )
+        l2_decision = self.l2.act(queue_avgs, state.gamma_modules)
+        state.gamma_modules = l2_decision.gamma
+        l2_event = L2DecisionEvent(
+            period=index,
+            gamma=state.gamma_modules.copy(),
+            prediction=global_prediction,
+        )
+        # Each module's load estimate is its share of the global
+        # forecast (the paper's lambda_hat_i = gamma_i * lambda_hat_g),
+        # so gamma reassignments do not read as workload swings to the
+        # L1 Kalman filters.
+        global_counts = self.l2.predictor.forecast(2)
+        global_delta = self.l2.predictor.band.delta
+        boundaries = []
+        for i in range(p):
+            rate_hat = (
+                state.gamma_modules[i] * global_counts[0] / self.l2_params.period
+            )
+            rate_next = (
+                state.gamma_modules[i] * global_counts[1] / self.l2_params.period
+            )
+            delta = (
+                state.gamma_modules[i] * global_delta / self.l2_params.period
+                if self.l1_params.use_uncertainty_band
+                else 0.0
+            )
+            boundaries.append(
+                ModuleBoundaryInput(
+                    period=index,
+                    now=now,
+                    observed_arrivals=(
+                        None if observed is None else float(observed[i])
+                    ),
+                    rate_hat=rate_hat,
+                    rate_next=rate_next,
+                    delta=delta,
+                    prediction=state.gamma_modules[i] * global_counts[0],
                 )
             )
-            for i in range(p):
-                decision = controllers[i].act(
-                    plants[i].queue_lengths, state.alphas[i]
-                )
-                state.alphas[i] = decision.alpha.astype(bool)
-                state.gammas_module[i] = decision.gamma
-                plants[i].apply_configuration(state.alphas[i])
-                for computer, freq in zip(
-                    plants[i].computers, decision.frequency_indices
-                ):
-                    computer.set_frequency_index(int(freq))
-                state.sink.on_l1_decision(
-                    L1DecisionEvent(
-                        period=index,
-                        module=i,
-                        alpha=state.alphas[i].copy(),
-                        gamma=state.gammas_module[i].copy(),
-                        prediction=float(
-                            controllers[i].predictor.forecast(1)[0]
-                        ),
-                    )
-                )
+        return l2_event, boundaries
 
+    def _parent_step(
+        self, state: "_ClusterRunState", k: int
+    ) -> "list[ModuleStepInput]":
+        """Advance parent-side accumulators; build per-module step inputs."""
+        p = self.spec.module_count
         arrivals = float(self.trace.counts[k])
         state.interval_global += arrivals
         shares = state.gamma_modules * arrivals
-        events = []
+        now = k * self.l0_params.period
+        if state.fine_predictor is not None:
+            forecast = (
+                state.fine_predictor.forecast(self.l0_params.horizon)
+                / self.l0_params.period
+            )
+        else:
+            forecast = None
+        inputs = []
         for i in range(p):
             state.interval_module[i] += shares[i]
-            freq_row = np.array(
-                [c.frequency_ghz for c in plants[i].computers]
+            inputs.append(
+                ModuleStepInput(
+                    step=k,
+                    time=now,
+                    share=shares[i],
+                    gamma_module=state.gamma_modules[i],
+                    forecast=forecast,
+                )
             )
-            results = plants[i].step_fluid(
-                shares[i], work, self.l0_params.period, state.gammas_module[i]
-            )
-            response_row = np.empty(self.spec.modules[i].size)
-            queue_row = np.empty(self.spec.modules[i].size)
-            for j, result in enumerate(results):
-                response_row[j] = result.response_time
-                queue_row[j] = result.queue
-            event = StepEvent(
-                step=k,
-                time=k * self.l0_params.period,
-                module=i,
-                arrivals=shares[i],
-                frequencies=freq_row,
-                responses=response_row,
-                queues=queue_row,
-                power=plants[i].total_power(results),
-            )
-            state.sink.on_step(event)
-            events.append(event)
-        return events
+        if state.fine_predictor is not None:
+            state.fine_predictor.observe(arrivals)
+        return inputs
 
     def advance_period(self) -> "Iterator[list[StepEvent]]":
         """Generate the remaining steps of the current control period."""
@@ -804,12 +864,17 @@ class ClusterSimulation:
             )
         if state.result is not None:
             return state.result
+        if state.pool is not None:
+            finals_by_module = state.pool.finalize()
+            state.pool.shutdown()
+            state.pool = None
+            finals = [
+                finals_by_module[i] for i in range(self.spec.module_count)
+            ]
+        else:
+            finals = [runner.finalize() for runner in state.runners]
         module_results = []
-        for i, plant in enumerate(state.plants):
-            on_count, off_count = plant.switch_counts()
-            l0_stats = ControllerStats()
-            for l0 in state.l0_banks[i]:
-                l0_stats = l0_stats.merged_with(l0.stats)
+        for i, final in enumerate(finals):
             recorder = state.module_recorders[i]
             module_results.append(
                 ModuleRunResult(
@@ -827,19 +892,13 @@ class ClusterSimulation:
                     l1_predictions=recorder.l1_predictions,
                     computers_on=recorder.computers_on,
                     target_response=self.l0_params.target_response,
-                    energy_base=sum(
-                        c.energy.base_energy for c in plant.computers
-                    ),
-                    energy_dynamic=sum(
-                        c.energy.dynamic_energy for c in plant.computers
-                    ),
-                    energy_transient=sum(
-                        c.energy.transient_energy for c in plant.computers
-                    ),
-                    switch_ons=on_count,
-                    switch_offs=off_count,
-                    l0_stats=l0_stats,
-                    l1_stats=state.l1s[i].stats,
+                    energy_base=final.energy_base,
+                    energy_dynamic=final.energy_dynamic,
+                    energy_transient=final.energy_transient,
+                    switch_ons=final.switch_ons,
+                    switch_offs=final.switch_offs,
+                    l0_stats=final.l0_stats,
+                    l1_stats=final.l1_stats,
                 )
             )
         cluster = state.cluster_recorder
@@ -864,9 +923,19 @@ class ClusterSimulation:
     ) -> ClusterRunResult:
         """Simulate the full trace under the three-level hierarchy."""
         self.reset(observers=observers)
-        for _ in self.steps():
-            pass
-        return self.finish()
+        try:
+            for _ in self.steps():
+                pass
+            return self.finish()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Release a sharded run's worker processes (serial: no-op)."""
+        state = getattr(self, "_state", None)
+        if state is not None and state.pool is not None:
+            state.pool.shutdown()
+            state.pool = None
 
     def _require_state(self) -> "_ClusterRunState":
         if getattr(self, "_state", None) is None:
@@ -896,19 +965,32 @@ class ClusterSimulation:
 
 @dataclass
 class _ClusterRunState:
-    """Mutable per-run state for :class:`ClusterSimulation`."""
+    """Mutable per-run state for :class:`ClusterSimulation`.
 
-    plants: list
-    l1s: list
-    l0_banks: list
-    fine_predictor: "WorkloadPredictor | None"
+    Per-module mutable state (plant, controllers, alpha/gamma) lives in
+    the :class:`~repro.sim.shard.ModuleShardRunner` objects: held in
+    ``runners`` on the serial path, shipped to ``pool`` workers on the
+    sharded one (``last_queue_lengths`` then carries the end-of-period
+    plant states the next L2 decision needs).
+    """
+
     cluster_recorder: ClusterRecorder
     module_recorders: list
     sink: ObserverList
-    alphas: list
-    gammas_module: list
+    fine_predictor: "WorkloadPredictor | None"
     gamma_modules: np.ndarray
     interval_module: np.ndarray
+    runners: "list[ModuleShardRunner] | None" = None
+    pool: "ShardWorkerPool | None" = None
+    shard_worker_count: "int | None" = None
+    last_queue_lengths: "list | None" = None
+    step_buffer: list = field(default_factory=list)
     interval_global: float = 0.0
     k: int = 0
     result: "ClusterRunResult | None" = None
+
+    def module_queue_lengths(self) -> "list[np.ndarray]":
+        """Per-module plant queue vectors at the current period boundary."""
+        if self.runners is not None:
+            return [runner.plant.queue_lengths for runner in self.runners]
+        return self.last_queue_lengths

@@ -28,8 +28,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.controllers.stats import ControllerStats
-
 
 @dataclass(frozen=True)
 class StepEvent:

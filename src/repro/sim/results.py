@@ -9,6 +9,24 @@ import numpy as np
 
 from repro.controllers.stats import ControllerStats
 
+#: :class:`RunSummary` fields that are deterministic across hosts and
+#: execution backends. ``controller_seconds`` is wall-clock time — it
+#: varies per machine and per run — so every byte-compared surface (the
+#: sweep stores, ``repro run --json``, the CI identity gates) sticks to
+#: this subset.
+DETERMINISTIC_SUMMARY_METRICS = (
+    "mean_response",
+    "violation_fraction",
+    "total_energy",
+    "base_energy",
+    "dynamic_energy",
+    "transient_energy",
+    "switch_ons",
+    "switch_offs",
+    "mean_computers_on",
+    "l1_mean_states",
+)
+
 
 @dataclass(frozen=True)
 class RunSummary:
@@ -29,6 +47,17 @@ class RunSummary:
     def to_dict(self) -> dict:
         """Plain-dict form; JSON-safe and loss-free."""
         return dataclasses.asdict(self)
+
+    def deterministic_dict(self) -> dict:
+        """The reproducible metrics only (no wall-clock fields).
+
+        This is the payload behind every byte-identity comparison:
+        serial and sharded runs of the same scenario agree on it bit for
+        bit, as do serial and process-pool sweep stores.
+        """
+        return {
+            name: getattr(self, name) for name in DETERMINISTIC_SUMMARY_METRICS
+        }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunSummary":

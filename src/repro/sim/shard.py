@@ -1,0 +1,458 @@
+"""Intra-run sharded execution: one worker per module at cluster level.
+
+The paper's hierarchy is naturally parallel: the L2 controller splits the
+global arrival stream with gamma, then each module's L1/L0 loop runs
+independently until the next control period. This module exploits that
+structure. A :class:`ModuleShardRunner` owns everything module-local —
+the plant, the module controller (L1 or a baseline), the L0 bank, the
+current alpha/gamma, pending fault events — and exposes the intra-period
+stepping as three calls (``begin_period`` / ``step`` / ``finalize``).
+The serial engine drives the runners inline; the sharded backend ships
+them to a pool of persistent, spawn-started worker processes
+(:class:`ShardWorkerPool`) and drives whole control periods at a time.
+
+Determinism is by construction, not by tolerance: the parent computes
+every cross-module quantity (L2 decisions, arrival shares, global
+forecasts) exactly as the serial path does and ships the resulting
+floats to the workers, and the workers execute the very same runner code
+the serial path executes. Events come back in the serial emission order,
+so observers, recorders, and ``finish()`` see bit-for-bit identical
+results on either backend. Per-module dispatcher RNG streams are seeded
+from ``(options.seed, module index)`` in the parent before any worker is
+involved, so they too are identical across backends.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, ControlError
+from repro.common.validation import require_positive_int
+from repro.controllers.params import L0Params
+from repro.controllers.stats import ControllerStats
+from repro.sim.observers import L1DecisionEvent, StepEvent
+
+#: Cluster execution backends a simulation can run on (the scenario
+#: layer validates ``control.execution`` against this same tuple).
+EXECUTION_MODES = ("serial", "sharded")
+
+
+def resolve_shard_workers(shard_workers: "int | None", module_count: int) -> int:
+    """Effective worker count: ``None`` means one worker per module.
+
+    A request larger than the module count is clamped — a worker with no
+    module to run would only burn a process slot.
+    """
+    if shard_workers is None:
+        return max(1, module_count)
+    require_positive_int(shard_workers, "shard_workers")
+    return max(1, min(shard_workers, module_count))
+
+
+# ----------------------------------------------------------------------
+# Wire types: what the parent ships per period and gets back
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModuleBoundaryInput:
+    """Parent-computed inputs for one module's control-period boundary.
+
+    ``observed_arrivals`` is the module's realised arrival count over the
+    previous period (``None`` on the first boundary). The ``rate_*`` /
+    ``delta`` / ``prediction`` fields are the L1 set-points derived from
+    the L2 forecast; baseline modules ignore them and forecast locally.
+    """
+
+    period: int
+    now: float
+    observed_arrivals: "float | None" = None
+    rate_hat: float = 0.0
+    rate_next: float = 0.0
+    delta: float = 0.0
+    prediction: float = 0.0
+
+
+@dataclass(frozen=True)
+class ModuleStepInput:
+    """Parent-computed inputs for one module's T_L0 step.
+
+    ``share`` is this module's slice of the global arrivals (the L2
+    gamma split), ``gamma_module`` the module's current global load
+    fraction, and ``forecast`` the shared fine-grained global rate
+    forecast (hierarchy mode only).
+    """
+
+    step: int
+    time: float
+    share: float
+    gamma_module: float
+    forecast: "np.ndarray | None" = None
+
+
+@dataclass(frozen=True)
+class ModulePeriodInput:
+    """One full control period of work for one module."""
+
+    boundary: ModuleBoundaryInput
+    steps: "tuple[ModuleStepInput, ...]"
+
+
+@dataclass(frozen=True)
+class ModulePeriodOutput:
+    """What one module produced over one control period."""
+
+    module: int
+    l1_event: L1DecisionEvent
+    step_events: "tuple[StepEvent, ...]"
+    queue_lengths: np.ndarray  # end-of-period, for the next L2 decision
+
+
+@dataclass(frozen=True)
+class ModuleFinalization:
+    """Module aggregates the parent folds into the run result."""
+
+    module: int
+    energy_base: float
+    energy_dynamic: float
+    energy_transient: float
+    switch_ons: int
+    switch_offs: int
+    l0_stats: ControllerStats
+    l1_stats: ControllerStats
+
+
+# ----------------------------------------------------------------------
+# The per-module runner (shared by the serial and sharded paths)
+# ----------------------------------------------------------------------
+
+
+class ModuleShardRunner:
+    """Owns one module's mutable run state and intra-period logic.
+
+    The serial engine calls this inline; the sharded backend pickles the
+    fully-initialised runner to a worker process once per run and calls
+    it there. Both paths therefore execute the identical float
+    operations in the identical order.
+    """
+
+    def __init__(
+        self,
+        module_index: int,
+        plant,
+        controller,
+        l0_bank: list,
+        l0_params: L0Params,
+        mean_work: float,
+        is_baseline: bool,
+        failure_events: "tuple[tuple[float, int, str], ...]" = (),
+    ) -> None:
+        self.module_index = module_index
+        self.plant = plant
+        self.controller = controller
+        self.l0_bank = list(l0_bank)
+        self.l0_params = l0_params
+        self.mean_work = mean_work
+        self.is_baseline = is_baseline
+        self.alpha = np.ones(plant.size, dtype=bool)
+        self.gamma = np.full(plant.size, 1.0 / plant.size)
+        self.pending_events = sorted(failure_events, key=lambda e: e[0])
+
+    # -- fault handling (mirrors ModuleSimulation.step) -----------------
+
+    def _apply_faults(self, now: float) -> None:
+        while self.pending_events and self.pending_events[0][0] <= now:
+            _, index_failed, kind = self.pending_events.pop(0)
+            if kind == "fail":
+                self.plant.fail_computer(index_failed)
+                self.alpha[index_failed] = False
+                if self.gamma[index_failed] > 0:
+                    gamma = self.gamma.copy()
+                    gamma[index_failed] = 0.0
+                    total = gamma.sum()
+                    if total > 0:
+                        gamma = gamma / total
+                    else:
+                        # The only serving machine failed: emergency
+                        # power-on of the fastest survivor; arrivals
+                        # queue behind its boot.
+                        survivor = int(
+                            np.argmax(
+                                np.where(
+                                    self.plant.available_mask,
+                                    [
+                                        c.model.speed_factor
+                                        for c in self.plant.computers
+                                    ],
+                                    -1.0,
+                                )
+                            )
+                        )
+                        self.plant.computers[survivor].power_on()
+                        self.alpha[survivor] = True
+                        gamma = np.zeros_like(gamma)
+                        gamma[survivor] = 1.0
+                    self.gamma = gamma
+            else:
+                self.plant.repair_computer(index_failed)
+
+    # -- the three intra-period calls -----------------------------------
+
+    def begin_period(self, boundary: ModuleBoundaryInput) -> L1DecisionEvent:
+        """Observe the closed interval, re-decide alpha/gamma, reconfigure."""
+        self._apply_faults(boundary.now)
+        if boundary.observed_arrivals is not None:
+            self.controller.observe(boundary.observed_arrivals, self.mean_work)
+        if self.is_baseline:
+            decision = self.controller.act(self.plant.queue_lengths, self.alpha)
+            self.alpha = decision.alpha.astype(bool)
+            self.gamma = decision.gamma
+            self.plant.apply_configuration(self.alpha)
+            for computer, freq in zip(
+                self.plant.computers, decision.frequency_indices
+            ):
+                computer.set_frequency_index(int(freq))
+            prediction = float(self.controller.predictor.forecast(1)[0])
+        else:
+            decision = self.controller.decide(
+                self.plant.queue_lengths,
+                self.alpha,
+                rate_hat=boundary.rate_hat,
+                rate_next=boundary.rate_next,
+                delta=boundary.delta,
+                work=self.controller.work_estimate,
+                available=self.plant.available_mask,
+            )
+            self.alpha = decision.alpha.astype(bool)
+            self.gamma = decision.gamma
+            self.plant.apply_configuration(self.alpha)
+            prediction = boundary.prediction
+        return L1DecisionEvent(
+            period=boundary.period,
+            module=self.module_index,
+            alpha=self.alpha.copy(),
+            gamma=self.gamma.copy(),
+            prediction=prediction,
+        )
+
+    def step(self, inp: ModuleStepInput) -> StepEvent:
+        """Advance the module one T_L0 fluid step."""
+        self._apply_faults(inp.time)
+        m = self.plant.size
+        freq_row = np.zeros(m)
+        if self.is_baseline:
+            freq_row[:] = [c.frequency_ghz for c in self.plant.computers]
+        else:
+            for j, (computer, l0) in enumerate(
+                zip(self.plant.computers, self.l0_bank)
+            ):
+                if computer.is_serving:
+                    local_forecast = inp.gamma_module * self.gamma[j] * inp.forecast
+                    freq = l0.decide(
+                        computer.queue_length, local_forecast, l0.work_estimate
+                    )
+                    computer.set_frequency_index(freq.frequency_index)
+                freq_row[j] = computer.frequency_ghz
+        results = self.plant.step_fluid(
+            inp.share, self.mean_work, self.l0_params.period, self.gamma
+        )
+        response_row = np.empty(m)
+        queue_row = np.empty(m)
+        for j, result in enumerate(results):
+            response_row[j] = result.response_time
+            queue_row[j] = result.queue
+            if not self.is_baseline:
+                self.l0_bank[j].work_filter.observe(self.mean_work)
+        return StepEvent(
+            step=inp.step,
+            time=inp.time,
+            module=self.module_index,
+            arrivals=inp.share,
+            frequencies=freq_row,
+            responses=response_row,
+            queues=queue_row,
+            power=self.plant.total_power(results),
+        )
+
+    def run_period(self, period: ModulePeriodInput) -> ModulePeriodOutput:
+        """Execute one full control period (the worker-side entry point)."""
+        l1_event = self.begin_period(period.boundary)
+        step_events = tuple(self.step(inp) for inp in period.steps)
+        return ModulePeriodOutput(
+            module=self.module_index,
+            l1_event=l1_event,
+            step_events=step_events,
+            queue_lengths=self.plant.queue_lengths,
+        )
+
+    def finalize(self) -> ModuleFinalization:
+        """Fold the plant and controller aggregates for the run result."""
+        on_count, off_count = self.plant.switch_counts()
+        l0_stats = ControllerStats()
+        for l0 in self.l0_bank:
+            l0_stats = l0_stats.merged_with(l0.stats)
+        return ModuleFinalization(
+            module=self.module_index,
+            energy_base=sum(c.energy.base_energy for c in self.plant.computers),
+            energy_dynamic=sum(
+                c.energy.dynamic_energy for c in self.plant.computers
+            ),
+            energy_transient=sum(
+                c.energy.transient_energy for c in self.plant.computers
+            ),
+            switch_ons=on_count,
+            switch_offs=off_count,
+            l0_stats=l0_stats,
+            l1_stats=self.controller.stats,
+        )
+
+
+# ----------------------------------------------------------------------
+# The worker pool
+# ----------------------------------------------------------------------
+
+
+def _shard_worker_main(conn) -> None:
+    """Worker process loop: host runners, serve period requests."""
+    runners: "dict[int, ModuleShardRunner]" = {}
+    try:
+        while True:
+            command, payload = conn.recv()
+            if command == "init":
+                runners = {runner.module_index: runner for runner in payload}
+                conn.send(("ok", None))
+            elif command == "run_period":
+                outputs = {
+                    index: runners[index].run_period(period)
+                    for index, period in payload.items()
+                }
+                conn.send(("ok", outputs))
+            elif command == "finalize":
+                conn.send(
+                    ("ok", {i: r.finalize() for i, r in runners.items()})
+                )
+            elif command == "stop":
+                conn.send(("ok", None))
+                return
+            else:
+                conn.send(("error", f"unknown shard command {command!r}"))
+                return
+    except EOFError:
+        return
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class ShardWorkerPool:
+    """A pool of persistent, spawn-started module workers.
+
+    Modules are assigned round-robin (module ``i`` to worker ``i % w``),
+    so any worker count from 1 to the module count works and a request
+    for more workers than modules degrades to one module per worker.
+    Workers hold their runners for the whole run; each request ships
+    only the per-period inputs, not the module state.
+    """
+
+    def __init__(
+        self, runners: "list[ModuleShardRunner]", shard_workers: "int | None"
+    ) -> None:
+        if not runners:
+            raise ConfigurationError("shard pool needs at least one module runner")
+        self.module_count = len(runners)
+        self.workers = resolve_shard_workers(shard_workers, self.module_count)
+        self._assignment = {
+            runner.module_index: runner.module_index % self.workers
+            for runner in runners
+        }
+        groups: "list[list[ModuleShardRunner]]" = [
+            [] for _ in range(self.workers)
+        ]
+        for runner in runners:
+            groups[runner.module_index % self.workers].append(runner)
+        context = multiprocessing.get_context("spawn")
+        self._connections = []
+        self._processes = []
+        try:
+            for group in groups:
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_shard_worker_main, args=(child_conn,), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+            for worker, group in enumerate(groups):
+                self._connections[worker].send(("init", group))
+            for worker in range(self.workers):
+                self._receive(worker)
+        except Exception:
+            self.shutdown()
+            raise
+
+    def _receive(self, worker: int):
+        try:
+            status, payload = self._connections[worker].recv()
+        except (EOFError, ConnectionResetError, BrokenPipeError):
+            raise ControlError(
+                f"shard worker {worker} exited unexpectedly. If this "
+                "happened at startup, the usual cause is launching a "
+                "sharded run at the top level of a script: workers are "
+                "spawn-started, so the entry point must be guarded with "
+                "`if __name__ == '__main__':` (the standard "
+                "multiprocessing rule)"
+            ) from None
+        if status != "ok":
+            raise ControlError(f"shard worker {worker} failed:\n{payload}")
+        return payload
+
+    def run_period(
+        self, inputs: "dict[int, ModulePeriodInput]"
+    ) -> "dict[int, ModulePeriodOutput]":
+        """Run one control period on every worker; returns per-module outputs."""
+        requests: "dict[int, dict]" = {}
+        for module_index, period in inputs.items():
+            worker = self._assignment[module_index]
+            requests.setdefault(worker, {})[module_index] = period
+        for worker, payload in requests.items():
+            self._connections[worker].send(("run_period", payload))
+        outputs: "dict[int, ModulePeriodOutput]" = {}
+        for worker in requests:
+            outputs.update(self._receive(worker))
+        return outputs
+
+    def finalize(self) -> "dict[int, ModuleFinalization]":
+        """Collect every module's run aggregates."""
+        for connection in self._connections:
+            connection.send(("finalize", None))
+        finals: "dict[int, ModuleFinalization]" = {}
+        for worker in range(self.workers):
+            finals.update(self._receive(worker))
+        return finals
+
+    def shutdown(self) -> None:
+        """Stop the workers; safe to call more than once."""
+        for connection in self._connections:
+            try:
+                connection.send(("stop", None))
+                connection.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            finally:
+                connection.close()
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1)
+        self._connections = []
+        self._processes = []

@@ -51,6 +51,7 @@ from repro.sweep.executor import (
     SerialBackend,
     SweepRunReport,
     make_backend,
+    resolve_workers,
     run_sweep,
 )
 from repro.sweep.registry import (
@@ -90,6 +91,7 @@ __all__ = [
     "make_backend",
     "register_sweep",
     "render_table",
+    "resolve_workers",
     "report_payload",
     "run_sweep",
     "sweep_names",

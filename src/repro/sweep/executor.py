@@ -12,12 +12,14 @@ parallel stores byte-identical.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
 from repro.common.errors import ConfigurationError
+from repro.common.validation import require_positive_int
 from repro.scenario.spec import ScenarioSpec
 from repro.sweep.spec import SweepPoint, SweepSpec
 from repro.sweep.store import ResultStore
@@ -67,11 +69,20 @@ class ProcessPoolBackend:
 
 def make_backend(workers: int = 1) -> "SerialBackend | ProcessPoolBackend":
     """Pick the backend for a worker count (1 = serial)."""
-    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
-        raise ConfigurationError(
-            f"workers must be a positive int, got {workers!r}"
-        )
+    require_positive_int(workers, "workers")
     return SerialBackend() if workers == 1 else ProcessPoolBackend(workers)
+
+
+def resolve_workers(workers: "int | None", run_count: int) -> int:
+    """Effective pool width: ``None`` means ``min(cpu_count, run_count)``.
+
+    A pool wider than the run count would only spawn idle processes, and
+    wider than the host would only thrash it; explicit requests are kept
+    as-is (the caller may know better than ``os.cpu_count``).
+    """
+    if workers is None:
+        return max(1, min(os.cpu_count() or 1, run_count))
+    return require_positive_int(workers, "workers")
 
 
 @dataclass(frozen=True)
@@ -83,11 +94,13 @@ class SweepRunReport:
     executed: int
     skipped: int
     store_dir: Path
+    workers: int = 1
 
     def __str__(self) -> str:
         return (
             f"sweep {self.sweep or '(unnamed)'}: {self.total} runs, "
             f"{self.executed} executed, {self.skipped} already stored "
+            f"({self.workers} worker{'' if self.workers == 1 else 's'}) "
             f"-> {self.store_dir}"
         )
 
@@ -108,28 +121,33 @@ def _resolve(sweep: "SweepSpec | str") -> SweepSpec:
 def run_sweep(
     sweep: "SweepSpec | str",
     out_dir: "Path | str",
-    workers: int = 1,
+    workers: "int | None" = None,
     samples: int | None = None,
     on_run: "Callable[[SweepPoint, dict], None] | None" = None,
-    on_start: "Callable[[int, int], None] | None" = None,
+    on_start: "Callable[[int, int, int], None] | None" = None,
 ) -> SweepRunReport:
     """Expand, execute, and store a sweep; resume-safe.
 
+    ``workers=None`` sizes the pool to ``min(os.cpu_count(), pending
+    run count)`` — the work actually left after store reconciliation,
+    so a near-complete resume does not spin up idle processes — and the
+    effective width is reported back on the :class:`SweepRunReport`.
     Runs whose ``run_id`` the store at ``out_dir`` already holds are
     skipped, so re-invoking after a crash (or topping up a finished
     campaign with an unchanged spec) only executes the missing rows.
-    ``on_start`` is called once with ``(pending, total)`` after the
-    store is reconciled; ``on_run`` with each point and its metrics as
-    rows land.
+    ``on_start`` is called once with ``(pending, total, workers)`` after
+    the store is reconciled; ``on_run`` with each point and its metrics
+    as rows land.
     """
     sweep = _resolve(sweep)
-    backend = make_backend(workers)
     points = sweep.expand(samples=samples)
     store = ResultStore(out_dir)
     done = store.prepare(sweep, samples=samples)
     pending = [point for point in points if point.run_id not in done]
+    workers = resolve_workers(workers, max(1, len(pending)))
+    backend = make_backend(workers)
     if on_start is not None:
-        on_start(len(pending), len(points))
+        on_start(len(pending), len(points), workers)
     payloads = [point.scenario.to_dict() for point in pending]
     for point, summary in zip(pending, backend.map(payloads)):
         row = store.append(point, summary)
@@ -141,4 +159,5 @@ def run_sweep(
         executed=len(pending),
         skipped=len(points) - len(pending),
         store_dir=store.directory,
+        workers=workers,
     )

@@ -21,22 +21,11 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.common.errors import ConfigurationError
-from repro.sim.results import RunSummary
+from repro.sim.results import DETERMINISTIC_SUMMARY_METRICS, RunSummary
 from repro.sweep.spec import SweepPoint, SweepSpec
 
 #: RunSummary fields persisted per run — every deterministic metric.
-SUMMARY_METRICS = (
-    "mean_response",
-    "violation_fraction",
-    "total_energy",
-    "base_energy",
-    "dynamic_energy",
-    "transient_energy",
-    "switch_ons",
-    "switch_offs",
-    "mean_computers_on",
-    "l1_mean_states",
-)
+SUMMARY_METRICS = DETERMINISTIC_SUMMARY_METRICS
 
 _STORE_VERSION = 1
 

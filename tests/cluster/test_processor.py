@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common import ConfigurationError
-from repro.cluster import PROCESSOR_PROFILES, ProcessorSpec, processor_profile
+from repro.cluster import ProcessorSpec, processor_profile
 
 
 class TestProcessorSpec:

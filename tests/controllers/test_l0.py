@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common import ConfigurationError
-from repro.cluster import ComputerSpec, paper_module_spec, processor_profile
+from repro.cluster import ComputerSpec, processor_profile
 from repro.controllers import L0Controller, L0Params
 from repro.core import CostWeights
 

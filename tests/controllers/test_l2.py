@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common import ConfigurationError
-from repro.cluster import paper_cluster_spec, paper_module_spec
+from repro.cluster import paper_module_spec
 from repro.controllers import L2Controller, L2Params, ModuleCostMap
 
 

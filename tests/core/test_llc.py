@@ -8,7 +8,6 @@ from repro.common import ConfigurationError, ControlError
 from repro.core import (
     CallableConstraint,
     ConstraintSet,
-    ControlDecision,
     LookaheadController,
 )
 

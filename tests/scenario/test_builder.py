@@ -115,3 +115,33 @@ class TestFailuresAndSeed:
         spec = Scenario.module().named("x/y").describe("why").build()
         assert spec.name == "x/y"
         assert spec.description == "why"
+
+
+class TestExecutionBuilder:
+    def test_execution_sharded(self):
+        spec = (
+            Scenario.cluster(p=2, computers_per_module=2)
+            .execution("sharded", shard_workers=2)
+            .build()
+        )
+        assert spec.control.execution == "sharded"
+        assert spec.control.shard_workers == 2
+
+    def test_execution_validates_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.cluster().execution("async")
+
+    def test_cluster_failures_take_module_index(self):
+        spec = (
+            Scenario.cluster(p=2, computers_per_module=2)
+            .workload("steady", samples=20, rate=10.0)
+            .with_failures((60.0, 1, 1, "fail"))
+            .build()
+        )
+        assert spec.faults.events == ((60.0, 1, 1, "fail"),)
+
+    def test_cluster_failures_validate_indices(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.cluster(p=2, computers_per_module=2).with_failures(
+                (60.0, 4, 0, "fail")
+            )

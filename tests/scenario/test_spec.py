@@ -300,3 +300,97 @@ class TestWithOverrides:
             "control.l1", "faults.events",
         ):
             assert expected in keys
+
+
+class TestExecutionSpec:
+    def test_default_is_serial(self):
+        control = ControlSpec()
+        assert control.execution == "serial"
+        assert control.shard_workers is None
+
+    def test_unknown_execution_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControlSpec(execution="async")
+
+    def test_shard_workers_require_sharded(self):
+        with pytest.raises(ConfigurationError):
+            ControlSpec(shard_workers=4)
+        control = ControlSpec(execution="sharded", shard_workers=4)
+        assert control.shard_workers == 4
+
+    def test_shard_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ControlSpec(execution="sharded", shard_workers=0)
+        with pytest.raises(ConfigurationError):
+            ControlSpec(execution="sharded", shard_workers=True)
+
+    def test_module_plants_reject_sharded(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(control=ControlSpec(execution="sharded"))
+
+    def test_cluster_sharded_round_trips(self):
+        spec = ScenarioSpec(
+            plant=PlantSpec(kind="cluster", p=2, computers_per_module=2),
+            control=ControlSpec(execution="sharded", shard_workers=2),
+        )
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.control.execution == "sharded"
+
+    def test_with_overrides_moves_execution(self):
+        spec = ScenarioSpec(plant=PlantSpec(kind="cluster"))
+        sharded = spec.with_overrides(**{"control.execution": "sharded"})
+        assert sharded.control.execution == "sharded"
+        assert spec.control.execution == "serial"
+
+
+class TestClusterFaults:
+    def _cluster(self, events):
+        return ScenarioSpec(
+            plant=PlantSpec(kind="cluster", p=2, computers_per_module=2),
+            faults=FaultSpec(events=events),
+        )
+
+    def test_cluster_events_accepted_and_round_trip(self):
+        spec = self._cluster(((60.0, 1, 0, "fail"), (120.0, 1, 0, "repair")))
+        assert spec.faults.is_cluster_level
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt.faults.events == spec.faults.events
+
+    def test_cluster_event_indices_checked(self):
+        with pytest.raises(ConfigurationError):
+            self._cluster(((60.0, 5, 0, "fail"),))
+        with pytest.raises(ConfigurationError):
+            self._cluster(((60.0, 0, 7, "fail"),))
+
+    def test_cluster_rejects_module_form(self):
+        with pytest.raises(ConfigurationError):
+            self._cluster(((60.0, 0, "fail"),))
+
+    def test_module_plant_rejects_cluster_form(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(faults=FaultSpec(events=((60.0, 0, 0, "fail"),)))
+
+    def test_mixed_event_arity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(events=((60.0, 0, "fail"), (90.0, 0, 0, "fail")))
+
+    def test_cluster_baseline_faults_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                plant=PlantSpec(kind="cluster", p=2, computers_per_module=2),
+                control=ControlSpec(mode="always-on-max"),
+                faults=FaultSpec(events=((60.0, 0, 0, "fail"),)),
+            )
+
+    def test_cluster_event_beyond_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                plant=PlantSpec(kind="cluster", p=2, computers_per_module=2),
+                workload=WorkloadSpec(kind="wc98", samples=10),
+                faults=FaultSpec(events=((100 * 120.0, 0, 0, "fail"),)),
+            )
+
+    def test_non_sequence_event_rejected_cleanly(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(events=(5,))

@@ -178,3 +178,47 @@ class TestExecution:
     def test_sweep_report_missing_store_fails_cleanly(self, tmp_path, capsys):
         assert main(["sweep", "report", str(tmp_path / "nope")]) == 2
         assert "no sweep store" in capsys.readouterr().err
+
+
+class TestExecutionFlags:
+    def test_run_execution_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "paper/fig6-cluster16", "--execution", "sharded",
+             "--shard-workers", "2"]
+        )
+        assert args.execution == "sharded"
+        assert args.shard_workers == 2
+
+    def test_run_execution_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "paper/fig6-cluster16", "--execution", "async"]
+            )
+
+    def test_run_execution_defaults_to_scenario(self):
+        args = build_parser().parse_args(["run", "paper/fig6-cluster16"])
+        assert args.execution is None
+        assert args.shard_workers is None
+
+    def test_sweep_workers_default_auto(self):
+        args = build_parser().parse_args(
+            ["sweep", "run", "module-showdown", "--out", "out/x"]
+        )
+        assert args.workers is None
+
+    def test_module_scenario_rejects_sharded(self, capsys):
+        assert main(
+            ["run", "paper/fig4-module4", "--execution", "sharded"]
+        ) == 2
+        assert "cluster plant" in capsys.readouterr().err
+
+    def test_run_json_excludes_wall_clock(self, capsys):
+        import json
+
+        assert main(
+            ["run", "module-baseline-threshold-dvfs", "--samples", "10",
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "controller_seconds" not in payload["summary"]
+        assert payload["summary"]["total_energy"] > 0

@@ -11,6 +11,7 @@ from repro.sweep import (
     SerialBackend,
     SweepSpec,
     make_backend,
+    resolve_workers,
     run_sweep,
     write_report,
 )
@@ -115,8 +116,14 @@ class TestResume:
     def test_on_start_reports_pending_and_total(self, tmp_path):
         sweep = _fast_sweep()
         seen = []
-        run_sweep(sweep, tmp_path, on_start=lambda pending, total: seen.append((pending, total)))
-        run_sweep(sweep, tmp_path, on_start=lambda pending, total: seen.append((pending, total)))
+        run_sweep(
+            sweep, tmp_path,
+            on_start=lambda pending, total, workers: seen.append((pending, total)),
+        )
+        run_sweep(
+            sweep, tmp_path,
+            on_start=lambda pending, total, workers: seen.append((pending, total)),
+        )
         assert seen == [(4, 4), (0, 4)]
 
     def test_torn_store_resumes_to_byte_identical_result(self, tmp_path):
@@ -168,3 +175,59 @@ class TestResume:
             assert (clean_dir / name).read_bytes() == (
                 resumed_dir / name
             ).read_bytes()
+
+
+class TestResolveWorkers:
+    def test_none_caps_at_cpu_and_run_count(self):
+        import os
+
+        cpus = os.cpu_count() or 1
+        assert resolve_workers(None, 1000) == max(1, min(cpus, 1000))
+        assert resolve_workers(None, 1) == 1
+
+    def test_explicit_request_kept(self):
+        assert resolve_workers(3, 2) == 3
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0, 4)
+        with pytest.raises(ConfigurationError):
+            resolve_workers(True, 4)
+
+    def test_report_carries_effective_workers(self, tmp_path):
+        report = run_sweep(
+            "module-seeds", tmp_path / "store", workers=1, samples=6
+        )
+        assert report.workers == 1
+        assert "(1 worker)" in str(report)
+
+    def test_resume_sizes_pool_to_pending(self, tmp_path):
+        """A finished store resumes with a serial pool, not cpu_count."""
+        run_sweep("module-seeds", tmp_path / "store", workers=1, samples=6)
+        report = run_sweep(
+            "module-seeds", tmp_path / "store", workers=None, samples=6
+        )
+        assert report.executed == 0
+        assert report.workers == 1
+
+
+class TestShardedInsideSweep:
+    def test_execution_parity_sweep_rows_agree(self, tmp_path):
+        """Serial and sharded rows of the parity sweep match per seed —
+        a sharded cluster run composes with the sweep's process pool."""
+        report = run_sweep(
+            "cluster-execution-parity", tmp_path / "store", workers=1,
+            samples=4,
+        )
+        assert report.total == 4
+        store = ResultStore(tmp_path / "store")
+        rows = store.rows()
+        by_key = {
+            (row.overrides["control.execution"], row.overrides["seed"]): row
+            for row in rows
+        }
+        for seed in (0, 1):
+            assert (
+                by_key[("serial", seed)].metrics
+                == by_key[("sharded", seed)].metrics
+            )

@@ -1,7 +1,6 @@
 """Tests for the WC'98-shaped trace generator."""
 
 import numpy as np
-import pytest
 
 from repro.workload import WC98Spec, wc98_trace
 
