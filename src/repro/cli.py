@@ -19,6 +19,18 @@ the two are byte-comparable):
     python -m repro.cli run paper/fig6-cluster16 --execution sharded
     python -m repro.cli run cluster-baseline-showdown --shard-workers 2 --json
 
+Long-horizon workloads (trace-file replay, flash crowds, Zipf-mix
+request drift) pair with ``--window`` — a bounded recorder that keeps
+the last N T_L0 steps in ring buffers and accumulates the summary
+online, so month-long traces run in constant memory with the summary
+bit-identical to the full recorder:
+
+.. code-block:: bash
+
+    python -m repro.cli run workloads/trace-replay
+    python -m repro.cli run workloads/flashcrowd-module --samples 20000 --window 256
+    python -m repro.cli run workloads/zipfmix-cluster16 --execution sharded --window 64
+
 Running sweeps — whole families of scenarios (controller variants x
 seeds x sizes) execute through the sweep subsystem, optionally on a
 process pool, with results stored as JSONL and aggregated into tables:
@@ -108,6 +120,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
             overrides["control.execution"] = "sharded"
     if args.execution is not None:
         overrides["control.execution"] = args.execution
+    if args.window is not None:
+        overrides["control.window"] = args.window
     if overrides:
         scenario = scenario.with_overrides(**overrides)
     observers = (ProgressObserver(every=args.progress),) if args.progress else ()
@@ -358,6 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-workers", type=int, default=None, metavar="N",
         help="cap the sharded worker-process count (implies --execution "
         "sharded; default one worker per module)",
+    )
+    run.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="bound recorder memory to the last N T_L0 steps (ring "
+        "buffers + online aggregates; the summary stays bit-identical "
+        "to the full recorder)",
     )
     run.add_argument(
         "--progress", type=int, nargs="?", const=30, default=0,

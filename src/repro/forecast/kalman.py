@@ -12,6 +12,7 @@ prediction horizon), and innovation bookkeeping for uncertainty bands.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -79,6 +80,10 @@ class KalmanFilter:
         Prior mean for the state (defaults to zeros).
     initial_cov:
         Prior covariance (defaults to a large diagonal — a diffuse prior).
+    history_window:
+        How many recent :class:`KalmanStep` diagnostics to retain.
+        Bounded so month-long streaming runs hold constant memory; the
+        filter state itself never depends on the retained history.
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class KalmanFilter:
         model: StateSpaceModel,
         initial_state: np.ndarray | None = None,
         initial_cov: np.ndarray | None = None,
+        history_window: int = 256,
     ) -> None:
         self.model = model
         n = model.state_dim
@@ -99,7 +105,9 @@ class KalmanFilter:
         )
         if self.cov.shape != (n, n):
             raise ConfigurationError(f"initial_cov must have shape ({n}, {n})")
-        self.history: list[KalmanStep] = []
+        if history_window < 1:
+            raise ConfigurationError("history_window must be >= 1")
+        self.history: "deque[KalmanStep]" = deque(maxlen=int(history_window))
 
     # ------------------------------------------------------------------
     # Filtering

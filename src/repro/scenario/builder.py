@@ -91,12 +91,25 @@ class Scenario:
         rate: float | None = None,
         scale: float | None = None,
         seed: int | None = None,
+        **fields,
     ) -> "Scenario":
-        """Select the driving workload; ``seed`` also sets the run seed."""
+        """Select the driving workload; ``seed`` also sets the run seed.
+
+        Kind-specific fields pass through to :class:`WorkloadSpec` —
+        ``path``/``column``/``units`` for ``trace`` files,
+        ``spike_every``/``spike_magnitude``/``spike_decay`` for
+        ``flashcrowd``, ``zipf_exponent``/``rotate_every`` for
+        ``zipfmix`` — and are validated eagerly.
+        """
         require_in(kind, WORKLOAD_KINDS, "workload kind")
-        self._workload = WorkloadSpec(
-            kind=kind, samples=samples, rate=rate, scale=scale
-        )
+        try:
+            self._workload = WorkloadSpec(
+                kind=kind, samples=samples, rate=rate, scale=scale, **fields
+            )
+        except TypeError as error:
+            raise ConfigurationError(
+                f"invalid workload fields: {error}"
+            ) from None
         if seed is not None:
             self.seed(seed)
         return self
@@ -151,6 +164,16 @@ class Scenario:
         if shard_workers is not None:
             updates["shard_workers"] = shard_workers
         self._control = replace(self._control, **updates)
+        return self
+
+    def window(self, steps: int) -> "Scenario":
+        """Bound recorder memory to the last ``steps`` T_L0 steps.
+
+        Time series beyond the window are dropped as the run advances;
+        summary metrics are accumulated online and stay bit-identical
+        to the full recorder's.
+        """
+        self._control = replace(self._control, window=steps)
         return self
 
     def with_failures(self, *events: tuple) -> "Scenario":

@@ -22,6 +22,7 @@ user code can add its own::
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Callable
 
 from repro.common.errors import ConfigurationError
@@ -184,6 +185,103 @@ def _cluster_always_on() -> ScenarioSpec:
         .describe(
             "the §5.2 cluster with everything on at full speed — the "
             "QoS-safe / energy-worst reference point"
+        )
+        .build()
+    )
+
+
+def packaged_trace_path(name: str = "spiky_day.csv") -> str:
+    """Absolute path of a trace file shipped with the package."""
+    import repro.workload as _workload
+
+    return str(Path(_workload.__file__).parent / "data" / name)
+
+
+@register_scenario("workloads/trace-replay")
+def _trace_replay() -> ScenarioSpec:
+    return (
+        Scenario.module(m=4)
+        .workload(
+            "trace",
+            path=packaged_trace_path(),
+            column=1,
+            units="rate",
+        )
+        .control(warmup_intervals=24)
+        .describe(
+            "replay the packaged spiky-day arrival-rate file "
+            "(time_seconds,rate_rps at 2-minute bins) on the module of "
+            "four — the template for driving the hierarchy from logged "
+            "production traces"
+        )
+        .build()
+    )
+
+
+@register_scenario("workloads/flashcrowd-module")
+def _flashcrowd_module() -> ScenarioSpec:
+    return (
+        Scenario.module(m=4)
+        .workload(
+            "flashcrowd",
+            rate=40.0,
+            spike_every=120,
+            spike_magnitude=3.0,
+            spike_decay=15.0,
+        )
+        .describe(
+            "flash crowds on the module of four: 40 req/s base spiking "
+            "to 160 req/s (~80% of full-speed capacity) every 4 h, "
+            "decaying over ~30 min — regime shifts the L1 predictor "
+            "cannot see coming"
+        )
+        .build()
+    )
+
+
+@register_scenario("workloads/flashcrowd-cluster16")
+def _flashcrowd_cluster16() -> ScenarioSpec:
+    return (
+        Scenario.cluster(p=4)
+        .workload(
+            "flashcrowd",
+            rate=150.0,
+            spike_every=120,
+            spike_magnitude=2.5,
+            spike_decay=15.0,
+        )
+        .describe(
+            "flash crowds on the §5.2 sixteen-computer cluster: 150 "
+            "req/s base spiking to ~525 req/s (about 2/3 of full-speed "
+            "capacity) — the L2/L1/L0 stack absorbing sudden crowds"
+        )
+        .build()
+    )
+
+
+@register_scenario("workloads/zipfmix-module")
+def _zipfmix_module() -> ScenarioSpec:
+    return (
+        Scenario.module(m=4)
+        .workload("zipfmix", rate=80.0, rotate_every=100)
+        .describe(
+            "Zipf-mix on the module of four: steady 80 req/s Poisson "
+            "arrivals while the store's hot set rotates every ~3.3 h, "
+            "stepping the mean service demand the work filters track"
+        )
+        .build()
+    )
+
+
+@register_scenario("workloads/zipfmix-cluster16")
+def _zipfmix_cluster16() -> ScenarioSpec:
+    return (
+        Scenario.cluster(p=4)
+        .workload("zipfmix", rate=350.0, rotate_every=60)
+        .describe(
+            "Zipf-mix on the §5.2 sixteen-computer cluster: 350 req/s "
+            "Poisson arrivals with the hot set rotating every 2 h — "
+            "per-request service demand drifts under the full hierarchy"
         )
         .build()
     )

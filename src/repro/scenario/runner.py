@@ -62,6 +62,83 @@ def build_trace(
     scenario: ScenarioSpec, l0_period: float = 30.0
 ) -> ArrivalTrace:
     """Materialise the scenario's arrival trace (scaled, seeded)."""
+    return build_workload(scenario, l0_period)[0]
+
+
+def build_workload(
+    scenario: ScenarioSpec, l0_period: float = 30.0
+) -> "tuple[ArrivalTrace, np.ndarray | None]":
+    """Materialise the scenario's ``(arrival trace, work series)``.
+
+    The work series (per-T_L0-step mean service demand, seconds) is
+    ``None`` for every kind except ``zipfmix``, whose Zipf-store-driven
+    request mixes shift the demand with object popularity.
+    """
+    workload = scenario.workload
+    samples = workload.resolved_samples
+    if workload.kind == "trace":
+        trace = ArrivalTrace.load_file(
+            workload.path,
+            column=workload.column,
+            units=workload.units or "count",
+        )
+        if samples is not None:
+            wanted = samples * 120.0
+            if wanted > trace.duration + 1e-9:
+                raise ConfigurationError(
+                    f"workload.samples asks for {wanted:.0f}s but "
+                    f"{workload.path} spans only {trace.duration:.0f}s"
+                )
+            trace = trace.sliced(
+                0, max(1, round(wanted / trace.bin_seconds))
+            )
+        if workload.scale is not None:
+            trace = trace.scaled(workload.scale)
+        return trace, None
+    if workload.kind == "flashcrowd":
+        from repro.workload.flashcrowd import FlashCrowdSpec, flashcrowd_trace
+
+        defaults = FlashCrowdSpec()
+        spec = FlashCrowdSpec(
+            l1_samples=samples,
+            base_rate=workload.rate or defaults.base_rate,
+            spike_every=workload.spike_every or defaults.spike_every,
+            spike_magnitude=(
+                workload.spike_magnitude or defaults.spike_magnitude
+            ),
+            spike_decay=workload.spike_decay or defaults.spike_decay,
+            sub_bin_seconds=l0_period,
+        )
+        trace = flashcrowd_trace(spec, seed=scenario.seed)
+        if workload.scale is not None:
+            trace = trace.scaled(workload.scale)
+        return trace, None
+    if workload.kind == "zipfmix":
+        from repro.workload.zipfmix import ZipfMixSpec, zipfmix_workload
+
+        defaults = ZipfMixSpec()
+        spec = ZipfMixSpec(
+            l1_samples=samples,
+            rate=workload.rate or defaults.rate,
+            zipf_exponent=(
+                defaults.zipf_exponent
+                if workload.zipf_exponent is None
+                else workload.zipf_exponent
+            ),
+            rotate_every=workload.rotate_every or defaults.rotate_every,
+            sub_bin_seconds=l0_period,
+        )
+        trace, work_series = zipfmix_workload(spec, seed=scenario.seed)
+        if workload.scale is not None:
+            trace = trace.scaled(workload.scale)
+        return trace, work_series
+    return _build_classic_trace(scenario, l0_period), None
+
+
+def _build_classic_trace(
+    scenario: ScenarioSpec, l0_period: float
+) -> ArrivalTrace:
+    """The original synthetic / wc98 / steady trace construction."""
     workload = scenario.workload
     samples = workload.resolved_samples
     if workload.kind == "synthetic":
@@ -135,9 +212,23 @@ def build_simulation(
         warmup_intervals=control.warmup_intervals,
         mean_work=control.mean_work,
         seed=scenario.seed,
+        recorder_window=control.window,
     )
     plant = scenario.plant.build()
-    trace = build_trace(scenario, (l0_params or L0Params()).period)
+    trace, work_series = build_workload(
+        scenario, (l0_params or L0Params()).period
+    )
+    if scenario.faults and scenario.workload.resolved_samples is None:
+        # The spec-level beyond-trace guard needs the trace length, which
+        # for a whole-file `trace` workload is only known here: an event
+        # past the file's end would silently never fire.
+        latest = max(event[0] for event in scenario.faults.events)
+        if latest >= trace.duration:
+            raise ConfigurationError(
+                f"fault event at t={latest:.0f}s falls beyond the "
+                f"{trace.duration:.0f}s trace file {scenario.workload.path}; "
+                "use a longer file or drop the event"
+            )
 
     if scenario.plant.kind == "module":
         if l1_params is None:
@@ -156,6 +247,7 @@ def build_simulation(
             l1_params=l1_params,
             baseline=baseline,
             behavior_maps=behavior_maps,
+            work_series=work_series,
             options=options,
             failure_events=scenario.faults.events,
         )
@@ -180,6 +272,7 @@ def build_simulation(
         execution=control.execution,
         shard_workers=control.shard_workers,
         failure_events=scenario.faults.events,
+        work_series=work_series,
     )
 
 

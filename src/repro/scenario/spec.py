@@ -35,13 +35,36 @@ from repro.sim.shard import EXECUTION_MODES
 PLANT_KINDS = ("module", "cluster")
 
 #: Workload generators a scenario can reference by name.
-WORKLOAD_KINDS = ("synthetic", "wc98", "steady")
+WORKLOAD_KINDS = ("synthetic", "wc98", "steady", "trace", "flashcrowd", "zipfmix")
 
 #: Control modes: the full LLC hierarchy or any registered baseline.
 HIERARCHY_MODE = "hierarchy"
 
 #: Default trace lengths (in 2-minute control periods) per workload kind.
-DEFAULT_SAMPLES = {"synthetic": 1600, "wc98": 600, "steady": 90}
+#: ``None`` means the whole source (the ``trace`` kind replays its file
+#: end to end unless ``samples`` shortens it).
+DEFAULT_SAMPLES = {
+    "synthetic": 1600,
+    "wc98": 600,
+    "steady": 90,
+    "trace": None,
+    "flashcrowd": 400,
+    "zipfmix": 400,
+}
+
+#: Which workload kinds each kind-specific :class:`WorkloadSpec` field
+#: applies to; setting one on any other kind is a configuration error.
+_WORKLOAD_FIELD_KINDS = {
+    "rate": ("steady", "flashcrowd", "zipfmix"),
+    "path": ("trace",),
+    "column": ("trace",),
+    "units": ("trace",),
+    "spike_every": ("flashcrowd",),
+    "spike_magnitude": ("flashcrowd",),
+    "spike_decay": ("flashcrowd",),
+    "zipf_exponent": ("zipfmix",),
+    "rotate_every": ("zipfmix",),
+}
 
 
 @dataclass(frozen=True)
@@ -97,16 +120,32 @@ class WorkloadSpec:
     """Which arrival trace drives the plant.
 
     ``samples`` is the length in 2-minute control periods (``None``
-    picks the paper's span for the kind). ``rate`` (requests/s) is
-    required for the ``steady`` kind. ``scale`` multiplies the trace;
-    ``None`` means automatic capacity planning for cluster runs and no
-    scaling otherwise.
+    picks the kind's default span; the ``trace`` kind replays its whole
+    file). ``rate`` (requests/s) is required for ``steady`` and sets the
+    base/mean rate for ``flashcrowd``/``zipfmix``. ``scale`` multiplies
+    the trace; ``None`` means automatic capacity planning for wc98
+    cluster runs and no scaling otherwise.
+
+    Kind-specific fields: ``path``/``column``/``units`` locate and
+    interpret a ``trace`` file (:meth:`ArrivalTrace.load_file`);
+    ``spike_every``/``spike_magnitude``/``spike_decay`` shape the
+    ``flashcrowd`` spike train; ``zipf_exponent``/``rotate_every`` tune
+    the ``zipfmix`` popularity drift. Setting a field on a kind it does
+    not apply to is rejected eagerly.
     """
 
     kind: str = "synthetic"
     samples: int | None = None
     rate: float | None = None
     scale: float | None = None
+    path: str | None = None
+    column: int | None = None
+    units: str | None = None
+    spike_every: int | None = None
+    spike_magnitude: float | None = None
+    spike_decay: float | None = None
+    zipf_exponent: float | None = None
+    rotate_every: int | None = None
 
     def __post_init__(self) -> None:
         require_in(self.kind, WORKLOAD_KINDS, "workload.kind")
@@ -114,20 +153,54 @@ class WorkloadSpec:
             require_positive(self.samples, "workload.samples")
         if self.scale is not None:
             require_positive(self.scale, "workload.scale")
-        if self.kind == "steady":
-            if self.rate is None:
+        for field_name, kinds in _WORKLOAD_FIELD_KINDS.items():
+            if getattr(self, field_name) is not None and self.kind not in kinds:
+                applies = " or ".join(repr(k) for k in kinds)
                 raise ConfigurationError(
-                    "steady workloads need an arrival rate (requests/s)"
+                    f"workload.{field_name} only applies to {applies}, "
+                    f"not {self.kind!r}"
                 )
-            require_positive(self.rate, "workload.rate")
-        elif self.rate is not None:
+        if self.kind == "steady" and self.rate is None:
             raise ConfigurationError(
-                f"workload.rate only applies to 'steady', not {self.kind!r}"
+                "steady workloads need an arrival rate (requests/s)"
             )
+        if self.rate is not None:
+            require_positive(self.rate, "workload.rate")
+        if self.kind == "trace":
+            if not self.path:
+                raise ConfigurationError(
+                    "trace workloads need a workload.path (arrival-rate file)"
+                )
+            if self.column is not None and (
+                not isinstance(self.column, int)
+                or isinstance(self.column, bool)
+                or self.column < 0
+            ):
+                raise ConfigurationError(
+                    "workload.column must be a non-negative int (0-based), "
+                    f"got {self.column!r}"
+                )
+            if self.units is not None:
+                require_in(self.units, ("count", "rate"), "workload.units")
+        if self.spike_every is not None:
+            require_positive_int(self.spike_every, "workload.spike_every")
+        if self.spike_magnitude is not None:
+            require_positive(self.spike_magnitude, "workload.spike_magnitude")
+        if self.spike_decay is not None:
+            require_positive(self.spike_decay, "workload.spike_decay")
+        if self.zipf_exponent is not None:
+            require_non_negative(self.zipf_exponent, "workload.zipf_exponent")
+        if self.rotate_every is not None:
+            require_positive_int(self.rotate_every, "workload.rotate_every")
 
     @property
-    def resolved_samples(self) -> int:
-        """Trace length in control periods with kind defaults applied."""
+    def resolved_samples(self) -> "int | None":
+        """Trace length in control periods with kind defaults applied.
+
+        ``None`` (the ``trace`` kind without an explicit ``samples``)
+        means "the whole source file" — the length is only known once
+        the file is read.
+        """
         if self.samples is not None:
             return self.samples
         return DEFAULT_SAMPLES[self.kind]
@@ -156,6 +229,13 @@ class ControlSpec:
     ``"sharded"`` — one persistent worker process per module (capped at
     ``shard_workers`` when set), producing bit-identical results to the
     serial path. Only cluster plants accept ``"sharded"``.
+
+    ``window`` bounds recorder memory: the run keeps only the last
+    ``window`` T_L0 steps (and control periods) of every time series in
+    ring buffers, with the summary metrics accumulated online — a
+    month-long trace then runs in constant memory, and the resulting
+    :class:`~repro.sim.results.RunSummary` is bit-identical to the full
+    recorder's. ``None`` (the default) records the whole horizon.
     """
 
     mode: str = HIERARCHY_MODE
@@ -167,6 +247,7 @@ class ControlSpec:
     mean_work: float = 0.0175
     execution: str = "serial"
     shard_workers: int | None = None
+    window: int | None = None
 
     def __post_init__(self) -> None:
         modes = (HIERARCHY_MODE, *BASELINES)
@@ -184,6 +265,8 @@ class ControlSpec:
                 raise ConfigurationError(
                     "control.shard_workers requires control.execution = 'sharded'"
                 )
+        if self.window is not None:
+            require_positive_int(self.window, "control.window")
         # Validate the overrides eagerly (and the values they carry).
         _params_or_raise(L0Params, self.l0, "L0Params")
         _params_or_raise(L1Params, self.l1, "L1Params")
@@ -296,7 +379,11 @@ class ScenarioSpec:
             # Events beyond the trace would silently never fire — a
             # shortened failover drill must fail loudly, not read as a
             # healthy run (e.g. `--samples` overrides on module-failover).
+            # A `trace` workload without explicit samples has an unknown
+            # span until the file is read, so the check moves to run time.
             period = float(self.control.l1.get("period", 120.0))
+            if self.workload.resolved_samples is None:
+                return
             duration = self.workload.resolved_samples * period
             latest = max(event[0] for event in self.faults.events)
             if latest >= duration:

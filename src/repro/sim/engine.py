@@ -81,12 +81,15 @@ class SimulationOptions:
 
     ``warmup_intervals`` is the initial portion of the workload (in L1
     periods) used to tune the Kalman filters before the run, mirroring
-    §4.3.
+    §4.3. ``recorder_window`` bounds recorder memory to the last so-many
+    T_L0 steps/periods (``None`` records the whole horizon); summaries
+    stay bit-identical either way.
     """
 
     warmup_intervals: int = 48
     mean_work: float = 0.0175
     seed: int = 0
+    recorder_window: "int | None" = None
 
 
 class ModuleSimulation:
@@ -165,7 +168,12 @@ class ModuleSimulation:
     ) -> "ModuleSimulation":
         """Prepare a fresh run: new plant, recorders, tuned predictors."""
         recorder = ModuleRecorder(
-            self.total_steps, self.spec.size, self.periods
+            self.total_steps,
+            self.spec.size,
+            self.periods,
+            window=self.options.recorder_window,
+            target_response=self.l0_params.target_response,
+            step_seconds=self.l0_params.period,
         )
         state = _ModuleRunState(
             plant=Module(self.spec, initially_on=True),
@@ -358,6 +366,7 @@ class ModuleSimulation:
             switch_offs=off_count,
             l0_stats=l0_stats,
             l1_stats=self.module_controller.stats,
+            stream=recorder.stream,
         )
         state.result = result
         state.sink.on_run_end(result)
@@ -426,6 +435,9 @@ class ClusterSimulation:
     backends. ``failure_events`` injects cluster-level faults as
     ``(time_seconds, module_index, computer_index, 'fail'|'repair')``
     tuples (hierarchy mode only, like the module-level engine).
+    ``work_series`` supplies a per-T_L0-step mean service demand
+    (seconds/request) aligned with the trace — the Zipf-mix workloads'
+    drifting ``c`` — and defaults to the constant ``options.mean_work``.
     """
 
     def __init__(
@@ -442,6 +454,7 @@ class ClusterSimulation:
         execution: str = "serial",
         shard_workers: "int | None" = None,
         failure_events: "tuple[tuple[float, int, int, str], ...]" = (),
+        work_series: np.ndarray | None = None,
     ) -> None:
         self.spec = spec
         self.l0_params = l0_params or L0Params()
@@ -449,6 +462,11 @@ class ClusterSimulation:
         self.l2_params = l2_params or L2Params()
         self.options = options or SimulationOptions()
         self.trace = trace.rebinned(self.l0_params.period)
+        if work_series is not None and work_series.size != len(self.trace):
+            raise ConfigurationError(
+                "work_series must align with the trace bins"
+            )
+        self.work_series = work_series
         self.substeps = round(self.l2_params.period / self.l0_params.period)
         if abs(self.l2_params.period - self.l1_params.period) > 1e-9:
             raise ConfigurationError(
@@ -599,9 +617,18 @@ class ClusterSimulation:
             l1s = list(self.baselines)
             l0_banks = [[] for _ in range(p)]
             fine_predictor = None
-        cluster_recorder = ClusterRecorder(periods, p)
+        window = self.options.recorder_window
+        cluster_recorder = ClusterRecorder(periods, p, window=window)
         module_recorders = [
-            ModuleRecorder(steps, s.size, periods, module=i)
+            ModuleRecorder(
+                steps,
+                s.size,
+                periods,
+                module=i,
+                window=window,
+                target_response=self.l0_params.target_response,
+                step_seconds=self.l0_params.period,
+            )
             for i, s in enumerate(self.spec.modules)
         ]
         self._tune_predictors(l1s, fine_predictor)
@@ -734,7 +761,12 @@ class ClusterSimulation:
         """Close the previous period and compute every module's set-points."""
         index = k // self.substeps
         now = k * self.l0_params.period
-        work = self.options.mean_work
+        if self.work_series is not None:
+            work = float(self.work_series[k])
+            boundary_work: "float | None" = work
+        else:
+            work = self.options.mean_work
+            boundary_work = None
         p = self.spec.module_count
         observed = state.interval_module.copy() if k > 0 else None
         if self.baselines is not None:
@@ -755,6 +787,7 @@ class ClusterSimulation:
                     observed_arrivals=(
                         None if observed is None else float(observed[i])
                     ),
+                    work=boundary_work,
                 )
                 for i in range(p)
             ]
@@ -804,6 +837,7 @@ class ClusterSimulation:
                     rate_next=rate_next,
                     delta=delta,
                     prediction=state.gamma_modules[i] * global_counts[0],
+                    work=boundary_work,
                 )
             )
         return l2_event, boundaries
@@ -817,6 +851,9 @@ class ClusterSimulation:
         state.interval_global += arrivals
         shares = state.gamma_modules * arrivals
         now = k * self.l0_params.period
+        work = (
+            float(self.work_series[k]) if self.work_series is not None else None
+        )
         if state.fine_predictor is not None:
             forecast = (
                 state.fine_predictor.forecast(self.l0_params.horizon)
@@ -834,6 +871,7 @@ class ClusterSimulation:
                     share=shares[i],
                     gamma_module=state.gamma_modules[i],
                     forecast=forecast,
+                    work=work,
                 )
             )
         if state.fine_predictor is not None:
@@ -899,6 +937,7 @@ class ClusterSimulation:
                     switch_offs=final.switch_offs,
                     l0_stats=final.l0_stats,
                     l1_stats=final.l1_stats,
+                    stream=recorder.stream,
                 )
             )
         cluster = state.cluster_recorder

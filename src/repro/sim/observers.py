@@ -20,6 +20,17 @@ exactly what the result arrays see — without the engine holding any
 side channels. This is also the interface behind which future async or
 sharded backends can sit: anything that emits these events can drive
 the same consumers.
+
+Recorders run in one of two storage modes. By default every signal is
+preallocated for the whole horizon (``np.zeros((steps, size))`` and
+friends) — fine for a day, ruinous for a month of 30-second steps.
+Passing ``window=`` keeps each signal in a bounded ring buffer
+(:class:`SeriesBuffer`) holding only the most recent entries, while a
+:class:`StreamStats` accumulates the summary aggregates (response
+mean/max, violations, power mean/max, energy, machines on) online. Both
+modes accumulate the same :class:`StreamStats` with the same per-event
+arithmetic, which is what makes windowed and full runs produce
+bit-identical :class:`~repro.sim.results.RunSummary` payloads.
 """
 
 from __future__ import annotations
@@ -134,65 +145,232 @@ class ObserverList:
             observer.on_run_end(result)
 
 
+class SeriesBuffer:
+    """Storage for one recorded signal: whole-horizon or bounded ring.
+
+    With ``window=None`` (or a window covering the horizon) this is a
+    plain preallocated array indexed by step — exactly the original
+    recorder layout, zero copies. With a smaller window, writes land in
+    a ring of ``window`` slots and :meth:`view` returns the most recent
+    entries in chronological order. Indices must arrive in
+    non-decreasing order, which the engine's emission order guarantees
+    on both execution backends.
+    """
+
+    def __init__(
+        self,
+        length: int,
+        window: "int | None" = None,
+        tail: "tuple[int, ...]" = (),
+        fill: float = 0.0,
+    ) -> None:
+        self.length = int(length)
+        capacity = (
+            self.length if window is None else max(1, min(int(window), self.length))
+        )
+        self.capacity = capacity
+        self.wrapped = capacity < self.length
+        self._data = np.full((capacity, *tail), fill)
+        self._written = 0
+
+    def put(self, index: int, value) -> None:
+        """Record ``value`` at step ``index`` (overwriting the oldest slot)."""
+        self._data[index % self.capacity if self.wrapped else index] = value
+        if index >= self._written:
+            self._written = index + 1
+
+    def slot(self, index: int) -> np.ndarray:
+        """The storage row for step ``index``, for element-wise writes."""
+        if index >= self._written:
+            self._written = index + 1
+        return self._data[index % self.capacity if self.wrapped else index]
+
+    def view(self) -> np.ndarray:
+        """Chronologically-ordered contents (the whole array when unwrapped)."""
+        if not self.wrapped:
+            return self._data
+        if self._written <= self.capacity:
+            return self._data[: self._written].copy()
+        pivot = self._written % self.capacity
+        return np.concatenate([self._data[pivot:], self._data[:pivot]])
+
+
+@dataclass
+class StreamStats:
+    """Summary aggregates accumulated online, one event at a time.
+
+    Both recorder storage modes update these with identical arithmetic
+    in identical order, so the derived :class:`RunSummary` metrics are
+    bit-for-bit equal between windowed and full runs (and across the
+    serial/sharded backends, which replay events in the same order).
+    ``energy`` integrates power over the step width — the streaming
+    counterpart of summing a full power array.
+    """
+
+    target_response: "float | None" = None
+    step_seconds: float = 0.0
+    response_sum: float = 0.0
+    response_count: int = 0
+    response_max: float = 0.0
+    violation_count: int = 0
+    power_sum: float = 0.0
+    power_max: float = 0.0
+    energy: float = 0.0
+    computers_on_sum: float = 0.0
+    decision_count: int = 0
+    steps_seen: int = 0
+
+    def observe_step(self, responses: np.ndarray, power: float) -> None:
+        """Fold one step's response row and power draw into the aggregates."""
+        finite = responses[~np.isnan(responses)]
+        if finite.size:
+            self.response_sum += float(finite.sum())
+            self.response_count += int(finite.size)
+            self.response_max = max(self.response_max, float(finite.max()))
+            if self.target_response is not None:
+                self.violation_count += int(
+                    (finite > self.target_response).sum()
+                )
+        self.power_sum += power
+        self.power_max = max(self.power_max, power)
+        self.energy += power * self.step_seconds
+        self.steps_seen += 1
+
+    def observe_decision(self, machines_on: float) -> None:
+        """Fold one control-period configuration into the aggregates."""
+        self.computers_on_sum += machines_on
+        self.decision_count += 1
+
+    @property
+    def mean_response(self) -> float:
+        """Mean response over every served step (0 when nothing served)."""
+        if not self.response_count:
+            return 0.0
+        return self.response_sum / self.response_count
+
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of served responses above the target."""
+        if not self.response_count:
+            return 0.0
+        return self.violation_count / self.response_count
+
+    @property
+    def mean_power(self) -> float:
+        """Mean power draw per step (0 before any step)."""
+        if not self.steps_seen:
+            return 0.0
+        return self.power_sum / self.steps_seen
+
+    @property
+    def mean_computers_on(self) -> float:
+        """Mean machines serving per control period."""
+        if not self.decision_count:
+            return 0.0
+        return self.computers_on_sum / self.decision_count
+
+
 class ModuleRecorder(SimulationObserver):
     """Accumulates the time series behind :class:`ModuleRunResult`.
 
     The engine attaches one per module run; cluster runs attach one per
     member module (filtering on the event's ``module`` index).
+    ``window`` bounds storage to the last ``window`` steps and periods;
+    summary aggregates stream into :attr:`stream` either way.
     """
 
-    def __init__(self, steps: int, size: int, periods: int, module: int = 0) -> None:
+    def __init__(
+        self,
+        steps: int,
+        size: int,
+        periods: int,
+        module: int = 0,
+        window: "int | None" = None,
+        target_response: "float | None" = None,
+        step_seconds: float = 0.0,
+    ) -> None:
         self.module = module
-        self.arrivals = np.zeros(steps)
-        self.frequencies = np.zeros((steps, size))
-        self.responses = np.full((steps, size), np.nan)
-        self.queues = np.zeros((steps, size))
-        self.power = np.zeros(steps)
-        self.l1_arrivals = np.zeros(periods)
-        self.l1_predictions = np.zeros(periods)
-        self.computers_on = np.zeros(periods)
+        self.stream = StreamStats(
+            target_response=target_response, step_seconds=step_seconds
+        )
+        self._arrivals = SeriesBuffer(steps, window)
+        self._frequencies = SeriesBuffer(steps, window, tail=(size,))
+        self._responses = SeriesBuffer(steps, window, tail=(size,), fill=np.nan)
+        self._queues = SeriesBuffer(steps, window, tail=(size,))
+        self._power = SeriesBuffer(steps, window)
+        self._l1_arrivals = SeriesBuffer(periods, window)
+        self._l1_predictions = SeriesBuffer(periods, window)
+        self._computers_on = SeriesBuffer(periods, window)
+
+    # The result containers read these as plain arrays; in full mode the
+    # views ARE the preallocated arrays (no copies), in windowed mode
+    # they are the chronological tail of the run.
+    arrivals = property(lambda self: self._arrivals.view())
+    frequencies = property(lambda self: self._frequencies.view())
+    responses = property(lambda self: self._responses.view())
+    queues = property(lambda self: self._queues.view())
+    power = property(lambda self: self._power.view())
+    l1_arrivals = property(lambda self: self._l1_arrivals.view())
+    l1_predictions = property(lambda self: self._l1_predictions.view())
+    computers_on = property(lambda self: self._computers_on.view())
 
     def on_step(self, event: StepEvent) -> None:
         if event.module != self.module:
             return
         k = event.step
-        self.arrivals[k] = event.arrivals
-        self.frequencies[k] = event.frequencies
-        self.responses[k] = event.responses
-        self.queues[k] = event.queues
-        self.power[k] = event.power
+        self._arrivals.put(k, event.arrivals)
+        self._frequencies.put(k, event.frequencies)
+        self._responses.put(k, event.responses)
+        self._queues.put(k, event.queues)
+        self._power.put(k, event.power)
+        self.stream.observe_step(event.responses, event.power)
 
     def on_l1_decision(self, event: L1DecisionEvent) -> None:
         if event.module != self.module:
             return
-        self.l1_predictions[event.period] = event.prediction
-        self.computers_on[event.period] = event.alpha.sum()
+        self._l1_predictions.put(event.period, event.prediction)
+        on_count = event.alpha.sum()
+        self._computers_on.put(event.period, on_count)
+        self.stream.observe_decision(float(on_count))
 
     def on_period_end(self, event: PeriodEvent) -> None:
         if event.module_arrivals is None:
-            self.l1_arrivals[event.period] = event.arrivals
+            self._l1_arrivals.put(event.period, event.arrivals)
         else:
-            self.l1_arrivals[event.period] = event.module_arrivals[self.module]
+            self._l1_arrivals.put(
+                event.period, event.module_arrivals[self.module]
+            )
 
 
 class ClusterRecorder(SimulationObserver):
-    """Accumulates the cluster-level series behind :class:`ClusterRunResult`."""
+    """Accumulates the cluster-level series behind :class:`ClusterRunResult`.
 
-    def __init__(self, periods: int, module_count: int) -> None:
-        self.global_arrivals = np.zeros(periods)
-        self.global_predictions = np.zeros(periods)
-        self.gamma_history = np.zeros((periods, module_count))
-        self.per_module_on = np.zeros((periods, module_count))
+    ``window`` bounds storage to the last ``window`` control periods
+    (the per-module step windows live in the :class:`ModuleRecorder`\\ s).
+    """
+
+    def __init__(
+        self, periods: int, module_count: int, window: "int | None" = None
+    ) -> None:
+        self._global_arrivals = SeriesBuffer(periods, window)
+        self._global_predictions = SeriesBuffer(periods, window)
+        self._gamma_history = SeriesBuffer(periods, window, tail=(module_count,))
+        self._per_module_on = SeriesBuffer(periods, window, tail=(module_count,))
+
+    global_arrivals = property(lambda self: self._global_arrivals.view())
+    global_predictions = property(lambda self: self._global_predictions.view())
+    gamma_history = property(lambda self: self._gamma_history.view())
+    per_module_on = property(lambda self: self._per_module_on.view())
 
     def on_l2_decision(self, event: L2DecisionEvent) -> None:
-        self.global_predictions[event.period] = event.prediction
-        self.gamma_history[event.period] = event.gamma
+        self._global_predictions.put(event.period, event.prediction)
+        self._gamma_history.put(event.period, event.gamma)
 
     def on_l1_decision(self, event: L1DecisionEvent) -> None:
-        self.per_module_on[event.period, event.module] = event.alpha.sum()
+        self._per_module_on.slot(event.period)[event.module] = event.alpha.sum()
 
     def on_period_end(self, event: PeriodEvent) -> None:
-        self.global_arrivals[event.period] = event.arrivals
+        self._global_arrivals.put(event.period, event.arrivals)
 
 
 class ProgressObserver(SimulationObserver):

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.controllers.stats import ControllerStats
+from repro.sim.observers import StreamStats
 
 #: :class:`RunSummary` fields that are deterministic across hosts and
 #: execution backends. ``controller_seconds`` is wall-clock time — it
@@ -116,10 +117,16 @@ class ModuleRunResult:
     switch_offs: int
     l0_stats: ControllerStats
     l1_stats: ControllerStats
+    #: Online summary aggregates (present on engine-produced results).
+    #: With a recorder ``window`` the arrays above hold only the tail of
+    #: the run, so the summary derives from these instead — and for
+    #: bit-identity between windowed and full runs, the full recorder
+    #: accumulates (and the summary uses) the very same aggregates.
+    stream: "StreamStats | None" = None
 
     @property
     def steps(self) -> int:
-        """Number of T_L0 steps simulated."""
+        """Number of T_L0 steps simulated (retained steps under a window)."""
         return self.arrivals.size
 
     @property
@@ -132,12 +139,26 @@ class ModuleRunResult:
             return np.nanmean(self.responses, axis=1)
 
     def summary(self) -> RunSummary:
-        """Headline metrics over the run."""
-        responses = self.responses[~np.isnan(self.responses)]
-        mean_response = float(responses.mean()) if responses.size else 0.0
-        violations = (
-            float(np.mean(responses > self.target_response)) if responses.size else 0.0
-        )
+        """Headline metrics over the run.
+
+        Engine-produced results carry :attr:`stream` aggregates covering
+        the *whole* run (a recorder window only trims the arrays), so
+        those govern when present; hand-built results fall back to the
+        array arithmetic.
+        """
+        if self.stream is not None:
+            mean_response = self.stream.mean_response
+            violations = self.stream.violation_fraction
+            mean_on = self.stream.mean_computers_on
+        else:
+            responses = self.responses[~np.isnan(self.responses)]
+            mean_response = float(responses.mean()) if responses.size else 0.0
+            violations = (
+                float(np.mean(responses > self.target_response))
+                if responses.size
+                else 0.0
+            )
+            mean_on = float(self.computers_on.mean())
         return RunSummary(
             mean_response=mean_response,
             violation_fraction=violations,
@@ -147,7 +168,7 @@ class ModuleRunResult:
             transient_energy=self.energy_transient,
             switch_ons=self.switch_ons,
             switch_offs=self.switch_offs,
-            mean_computers_on=float(self.computers_on.mean()),
+            mean_computers_on=mean_on,
             controller_seconds=self.l0_stats.total_seconds + self.l1_stats.total_seconds,
             l1_mean_states=self.l1_stats.mean_states,
         )
@@ -176,14 +197,42 @@ class ClusterRunResult:
         return self.global_arrivals.size
 
     def summary(self) -> RunSummary:
-        """Cluster-wide headline metrics (modules merged)."""
-        responses = np.concatenate(
-            [m.responses[~np.isnan(m.responses)] for m in self.module_results]
-        )
-        mean_response = float(responses.mean()) if responses.size else 0.0
-        violations = (
-            float(np.mean(responses > self.target_response)) if responses.size else 0.0
-        )
+        """Cluster-wide headline metrics (modules merged).
+
+        Mirrors :meth:`ModuleRunResult.summary`: whole-run stream
+        aggregates govern when every module result carries them,
+        arrays otherwise.
+        """
+        streams = [m.stream for m in self.module_results]
+        if all(s is not None for s in streams):
+            total_count = sum(s.response_count for s in streams)
+            mean_response = (
+                sum(s.response_sum for s in streams) / total_count
+                if total_count
+                else 0.0
+            )
+            violations = (
+                sum(s.violation_count for s in streams) / total_count
+                if total_count
+                else 0.0
+            )
+            periods = max(s.decision_count for s in streams)
+            mean_on = (
+                sum(s.computers_on_sum for s in streams) / periods
+                if periods
+                else 0.0
+            )
+        else:
+            responses = np.concatenate(
+                [m.responses[~np.isnan(m.responses)] for m in self.module_results]
+            )
+            mean_response = float(responses.mean()) if responses.size else 0.0
+            violations = (
+                float(np.mean(responses > self.target_response))
+                if responses.size
+                else 0.0
+            )
+            mean_on = float(self.total_computers_on.mean())
         l0 = ControllerStats()
         l1 = ControllerStats()
         for module in self.module_results:
@@ -201,7 +250,7 @@ class ClusterRunResult:
             transient_energy=sum(m.energy_transient for m in self.module_results),
             switch_ons=sum(m.switch_ons for m in self.module_results),
             switch_offs=sum(m.switch_offs for m in self.module_results),
-            mean_computers_on=float(self.total_computers_on.mean()),
+            mean_computers_on=mean_on,
             controller_seconds=(
                 l0.total_seconds + l1.total_seconds + self.l2_stats.total_seconds
             ),

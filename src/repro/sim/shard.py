@@ -66,6 +66,8 @@ class ModuleBoundaryInput:
     previous period (``None`` on the first boundary). The ``rate_*`` /
     ``delta`` / ``prediction`` fields are the L1 set-points derived from
     the L2 forecast; baseline modules ignore them and forecast locally.
+    ``work`` is the parent's mean service demand at the boundary step
+    (``None`` means the runner's constant ``mean_work``).
     """
 
     period: int
@@ -75,6 +77,7 @@ class ModuleBoundaryInput:
     rate_next: float = 0.0
     delta: float = 0.0
     prediction: float = 0.0
+    work: "float | None" = None
 
 
 @dataclass(frozen=True)
@@ -84,7 +87,8 @@ class ModuleStepInput:
     ``share`` is this module's slice of the global arrivals (the L2
     gamma split), ``gamma_module`` the module's current global load
     fraction, and ``forecast`` the shared fine-grained global rate
-    forecast (hierarchy mode only).
+    forecast (hierarchy mode only). ``work`` is the step's mean service
+    demand (``None`` means the runner's constant ``mean_work``).
     """
 
     step: int
@@ -92,6 +96,7 @@ class ModuleStepInput:
     share: float
     gamma_module: float
     forecast: "np.ndarray | None" = None
+    work: "float | None" = None
 
 
 @dataclass(frozen=True)
@@ -205,8 +210,9 @@ class ModuleShardRunner:
     def begin_period(self, boundary: ModuleBoundaryInput) -> L1DecisionEvent:
         """Observe the closed interval, re-decide alpha/gamma, reconfigure."""
         self._apply_faults(boundary.now)
+        work = boundary.work if boundary.work is not None else self.mean_work
         if boundary.observed_arrivals is not None:
-            self.controller.observe(boundary.observed_arrivals, self.mean_work)
+            self.controller.observe(boundary.observed_arrivals, work)
         if self.is_baseline:
             decision = self.controller.act(self.plant.queue_lengths, self.alpha)
             self.alpha = decision.alpha.astype(bool)
@@ -242,6 +248,7 @@ class ModuleShardRunner:
     def step(self, inp: ModuleStepInput) -> StepEvent:
         """Advance the module one T_L0 fluid step."""
         self._apply_faults(inp.time)
+        work = inp.work if inp.work is not None else self.mean_work
         m = self.plant.size
         freq_row = np.zeros(m)
         if self.is_baseline:
@@ -258,7 +265,7 @@ class ModuleShardRunner:
                     computer.set_frequency_index(freq.frequency_index)
                 freq_row[j] = computer.frequency_ghz
         results = self.plant.step_fluid(
-            inp.share, self.mean_work, self.l0_params.period, self.gamma
+            inp.share, work, self.l0_params.period, self.gamma
         )
         response_row = np.empty(m)
         queue_row = np.empty(m)
@@ -266,7 +273,7 @@ class ModuleShardRunner:
             response_row[j] = result.response_time
             queue_row[j] = result.queue
             if not self.is_baseline:
-                self.l0_bank[j].work_filter.observe(self.mean_work)
+                self.l0_bank[j].work_filter.observe(work)
         return StepEvent(
             step=inp.step,
             time=inp.time,

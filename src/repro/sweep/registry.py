@@ -129,6 +129,45 @@ def _cluster_execution_parity() -> SweepSpec:
     )
 
 
+@register_sweep("workloads/flashcrowd-severity")
+def _flashcrowd_severity() -> SweepSpec:
+    """How spike magnitude stresses the module hierarchy."""
+    return SweepSpec(
+        name="workloads/flashcrowd-severity",
+        description=(
+            "the flash-crowd module scenario across spike magnitudes "
+            "{2, 4, 6} x two seeds — how hard a crowd the L1/L0 stack "
+            "absorbs before response-time violations climb"
+        ),
+        base="workloads/flashcrowd-module",
+        axes=(
+            GridAxis(
+                field="workload.spike_magnitude", values=(2.0, 4.0, 6.0)
+            ),
+            GridAxis(field="seed", values=(0, 1)),
+        ),
+    )
+
+
+@register_sweep("workloads/window-parity")
+def _window_parity() -> SweepSpec:
+    """Windowed-vs-full recorder determinism gate as a sweep campaign."""
+    return SweepSpec(
+        name="workloads/window-parity",
+        description=(
+            "the flash-crowd module scenario under recorder windows "
+            "{1 step, 256 steps, effectively unbounded} × two seeds — "
+            "grouped by control.window, every summary metric must agree "
+            "exactly, which is the streaming-recorder determinism gate"
+        ),
+        base="workloads/flashcrowd-module",
+        axes=(
+            GridAxis(field="control.window", values=(1, 256, 10_000_000)),
+            GridAxis(field="seed", values=(0, 1)),
+        ),
+    )
+
+
 @register_sweep("module-seeds")
 def _module_seeds() -> SweepSpec:
     """Seed-replicate sweep of the paper's module-of-four run."""

@@ -13,6 +13,11 @@ with a 1000-object "popular" set receiving 90 % of requests, and lognormal
 temporal locality.
 """
 
+from repro.workload.flashcrowd import (
+    FlashCrowdSpec,
+    flashcrowd_rate_profile,
+    flashcrowd_trace,
+)
 from repro.workload.locality import LognormalLocality
 from repro.workload.requests import RequestStream, RequestStreamGenerator
 from repro.workload.store import VirtualStore
@@ -20,17 +25,23 @@ from repro.workload.synthetic import SyntheticWorkloadSpec, synthetic_trace
 from repro.workload.trace import ArrivalTrace
 from repro.workload.wc98 import WC98Spec, wc98_trace
 from repro.workload.zipf import ZipfSampler, zipf_weights
+from repro.workload.zipfmix import ZipfMixSpec, zipfmix_workload
 
 __all__ = [
     "ArrivalTrace",
+    "FlashCrowdSpec",
     "LognormalLocality",
     "RequestStream",
     "RequestStreamGenerator",
     "SyntheticWorkloadSpec",
     "VirtualStore",
     "WC98Spec",
+    "ZipfMixSpec",
     "ZipfSampler",
+    "flashcrowd_rate_profile",
+    "flashcrowd_trace",
     "synthetic_trace",
     "wc98_trace",
     "zipf_weights",
+    "zipfmix_workload",
 ]

@@ -1,0 +1,109 @@
+"""Flash-crowd workloads: a parameterised spike train on a base rate.
+
+Flash crowds (the "Slashdot effect") are the canonical stress case for
+autonomic managers: load jumps by a large factor within a couple of
+control periods, holds briefly, and decays over tens of periods as the
+crowd disperses. Unlike the diurnal traces of §4.3/§5.2 the L1/L2
+predictors face genuine regime shifts — the onset is not forecastable
+from history — so the controllers must recover through feedback rather
+than lookahead.
+
+The generator layers a deterministic spike train on a constant base
+rate: every ``spike_every`` control periods a spike ramps up over
+``spike_rise`` periods to ``spike_magnitude`` times the base rate, then
+decays exponentially with an e-folding time of ``spike_decay`` periods.
+Gaussian noise proportional to the instantaneous level is added per
+30-second sub-interval, mirroring the synthetic-day recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import spawn_rng
+from repro.common.validation import require_non_negative, require_positive
+from repro.workload.trace import ArrivalTrace
+
+
+@dataclass(frozen=True)
+class FlashCrowdSpec:
+    """Parameters of the flash-crowd spike train.
+
+    ``l1_samples`` is the trace length in 2-minute control periods;
+    ``base_rate`` the quiet-time arrival rate in requests/s. The first
+    spike onsets at period ``spike_every // 2`` and repeats every
+    ``spike_every`` periods; each spike adds ``spike_magnitude`` times
+    the base rate at its peak, reached after ``spike_rise`` periods and
+    decayed with an e-folding time of ``spike_decay`` periods.
+    """
+
+    l1_samples: int = 400
+    base_rate: float = 40.0
+    spike_every: int = 120
+    spike_magnitude: float = 4.0
+    spike_decay: float = 15.0
+    spike_rise: int = 2
+    noise_fraction: float = 0.05
+    sub_bin_seconds: float = 30.0
+    l1_bin_seconds: float = 120.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.l1_samples, "l1_samples")
+        require_positive(self.base_rate, "base_rate")
+        require_positive(self.spike_every, "spike_every")
+        require_positive(self.spike_magnitude, "spike_magnitude")
+        require_positive(self.spike_decay, "spike_decay")
+        require_positive(self.spike_rise, "spike_rise")
+        require_non_negative(self.noise_fraction, "noise_fraction")
+        ratio = self.l1_bin_seconds / self.sub_bin_seconds
+        if abs(ratio - round(ratio)) > 1e-9 or ratio < 1:
+            raise ConfigurationError(
+                "l1_bin_seconds must be an integer multiple of sub_bin_seconds"
+            )
+
+    @property
+    def sub_bins_per_l1(self) -> int:
+        """Sub-intervals per 2-minute control period."""
+        return round(self.l1_bin_seconds / self.sub_bin_seconds)
+
+    @property
+    def onsets(self) -> "tuple[int, ...]":
+        """Spike onset periods within the trace."""
+        return tuple(
+            range(self.spike_every // 2, self.l1_samples, self.spike_every)
+        )
+
+
+def flashcrowd_rate_profile(spec: FlashCrowdSpec) -> np.ndarray:
+    """Deterministic arrival rate (requests/s) per control period."""
+    periods = np.arange(spec.l1_samples, dtype=float)
+    rate = np.full(spec.l1_samples, spec.base_rate)
+    peak = spec.base_rate * spec.spike_magnitude
+    for onset in spec.onsets:
+        elapsed = periods - onset
+        ramp = np.clip((elapsed + 1.0) / spec.spike_rise, 0.0, 1.0)
+        decay = np.exp(
+            -np.clip(elapsed - (spec.spike_rise - 1), 0.0, None)
+            / spec.spike_decay
+        )
+        rate += np.where(elapsed >= 0.0, peak * ramp * decay, 0.0)
+    return rate
+
+
+def flashcrowd_trace(
+    spec: FlashCrowdSpec | None = None,
+    seed: "int | np.random.Generator | None" = 0,
+) -> ArrivalTrace:
+    """Generate the flash-crowd workload at sub-interval granularity."""
+    spec = spec or FlashCrowdSpec()
+    rng = spawn_rng(seed)
+    per_sub = np.repeat(
+        flashcrowd_rate_profile(spec) * spec.sub_bin_seconds,
+        spec.sub_bins_per_l1,
+    )
+    noise = rng.normal(0.0, 1.0, per_sub.size) * (spec.noise_fraction * per_sub)
+    counts = np.clip(per_sub + noise, 0.0, None)
+    return ArrivalTrace(counts=counts, bin_seconds=spec.sub_bin_seconds)

@@ -8,8 +8,6 @@ receiving 90 % of all requests and a "rare" set receiving the remaining
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.common.errors import ConfigurationError

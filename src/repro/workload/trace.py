@@ -116,10 +116,41 @@ class ArrivalTrace:
     @classmethod
     def load_csv(cls, path: "str | Path") -> "ArrivalTrace":
         """Read a trace written by :meth:`save_csv`."""
+        trace = cls.load_file(path)
+        return trace
+
+    @classmethod
+    def load_file(
+        cls,
+        path: "str | Path",
+        column: int | None = None,
+        units: str = "count",
+        bin_seconds: float | None = None,
+    ) -> "ArrivalTrace":
+        """Read an arrival trace from a delimited text file.
+
+        Accepts the :meth:`save_csv` format and the common variations of
+        logged rate files: comma- or whitespace-delimited columns, an
+        optional ``# bin_seconds=...`` comment header, and an optional
+        non-numeric column-title row. ``column`` picks the value column
+        (0-based; default the last column of each row). ``units`` is
+        ``"count"`` (requests per bin, the default) or ``"rate"``
+        (requests per second, multiplied by the bin width). The bin
+        width comes from, in order: the ``bin_seconds`` argument, the
+        comment header, or the spacing of a leading time column.
+        """
         path = Path(path)
-        bin_seconds: float | None = None
-        counts: list[float] = []
-        with path.open() as handle:
+        if units not in ("count", "rate"):
+            raise ConfigurationError(
+                f"trace units must be 'count' or 'rate', got {units!r}"
+            )
+        header_bin: float | None = None
+        rows: "list[list[str]]" = []
+        try:
+            handle = path.open()
+        except OSError as error:
+            raise ConfigurationError(f"cannot read trace file: {error}") from None
+        with handle:
             for line in handle:
                 line = line.strip()
                 if not line:
@@ -127,12 +158,54 @@ class ArrivalTrace:
                 if line.startswith("#"):
                     key, _, value = line.lstrip("# ").partition("=")
                     if key.strip() == "bin_seconds":
-                        bin_seconds = float(value)
+                        header_bin = float(value)
                     continue
-                if line.startswith("time_seconds"):
-                    continue
-                _, _, count = line.partition(",")
-                counts.append(float(count))
-        if bin_seconds is None:
-            raise ConfigurationError(f"{path} is missing the bin_seconds header")
-        return cls(np.asarray(counts), bin_seconds)
+                fields = (
+                    [f.strip() for f in line.split(",")]
+                    if "," in line
+                    else line.split()
+                )
+                try:
+                    float(fields[0])
+                except ValueError:
+                    continue  # column-title row
+                rows.append(fields)
+        if not rows:
+            raise ConfigurationError(f"{path} holds no data rows")
+        index = len(rows[0]) - 1 if column is None else column
+        try:
+            values = np.array([float(row[index]) for row in rows])
+        except IndexError:
+            raise ConfigurationError(
+                f"{path} rows have no column {index} "
+                f"(rows hold {len(rows[0])} columns)"
+            ) from None
+        except ValueError as error:
+            raise ConfigurationError(
+                f"{path} column {index} is not numeric: {error}"
+            ) from None
+        resolved = bin_seconds if bin_seconds is not None else header_bin
+        if resolved is None and len(rows) >= 2 and len(rows[0]) >= 2 and index != 0:
+            # Infer the bin width from a leading time column — which must
+            # then be regularly spaced: a gap or variable-width bins would
+            # silently shift every later count to the wrong simulated time.
+            times = np.array([float(row[0]) for row in rows])
+            widths = np.diff(times)
+            resolved = float(widths[0])
+            if resolved > 0 and np.any(
+                np.abs(widths - resolved) > 1e-6 * abs(resolved)
+            ):
+                irregular = int(np.argmax(np.abs(widths - resolved) > 1e-6 * abs(resolved)))
+                raise ConfigurationError(
+                    f"{path} time column is not regularly spaced "
+                    f"(bin {irregular + 1} spans {widths[irregular]:.6g}s, "
+                    f"expected {resolved:.6g}s); fill the gap or pass "
+                    "bin_seconds explicitly"
+                )
+        if resolved is None or not resolved > 0:
+            raise ConfigurationError(
+                f"{path} carries no bin width: pass bin_seconds, add a "
+                "'# bin_seconds=...' header, or include a time column"
+            )
+        counts = values * resolved if units == "rate" else values
+        return cls(counts, resolved)

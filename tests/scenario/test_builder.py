@@ -39,7 +39,7 @@ class TestWorkloadDefaults:
 
     def test_unknown_workload_fails_at_call_site(self):
         with pytest.raises(ConfigurationError):
-            Scenario.module().workload("flashcrowd")
+            Scenario.module().workload("fractal")
 
 
 class TestControlChaining:

@@ -53,20 +53,150 @@ class TestWorkloadSpec:
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ConfigurationError):
-            WorkloadSpec(kind="flashcrowd")
+            WorkloadSpec(kind="fractal")
 
     def test_steady_requires_rate(self):
         with pytest.raises(ConfigurationError):
             WorkloadSpec(kind="steady")
         assert WorkloadSpec(kind="steady", rate=80.0).rate == 80.0
 
-    def test_rate_only_for_steady(self):
+    def test_rate_only_for_rated_kinds(self):
         with pytest.raises(ConfigurationError):
             WorkloadSpec(kind="wc98", rate=80.0)
-
-    def test_bad_scale_rejected(self):
         with pytest.raises(ConfigurationError):
-            WorkloadSpec(scale=0.0)
+            WorkloadSpec(kind="synthetic", rate=80.0)
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0, -0.001])
+    def test_bad_scale_rejected(self, scale):
+        with pytest.raises(ConfigurationError, match="workload.scale"):
+            WorkloadSpec(scale=scale)
+
+    @pytest.mark.parametrize("kind", ["steady", "flashcrowd", "zipfmix"])
+    def test_non_positive_rate_rejected(self, kind):
+        with pytest.raises(ConfigurationError, match="workload.rate"):
+            WorkloadSpec(kind=kind, rate=0.0)
+
+
+class TestWorkloadKindFields:
+    """The kind-specific fields of the trace/flashcrowd/zipfmix kinds."""
+
+    def test_new_kinds_have_default_samples(self):
+        from repro.scenario.spec import DEFAULT_SAMPLES, WORKLOAD_KINDS
+
+        assert set(DEFAULT_SAMPLES) == set(WORKLOAD_KINDS)
+        assert WorkloadSpec(kind="flashcrowd").resolved_samples == 400
+        assert WorkloadSpec(kind="zipfmix").resolved_samples == 400
+        # The trace kind replays its whole file by default.
+        assert (
+            WorkloadSpec(kind="trace", path="some.csv").resolved_samples
+            is None
+        )
+
+    def test_trace_requires_path(self):
+        with pytest.raises(ConfigurationError, match="workload.path"):
+            WorkloadSpec(kind="trace")
+
+    def test_trace_options_validated(self):
+        spec = WorkloadSpec(
+            kind="trace", path="some.csv", column=2, units="rate"
+        )
+        assert spec.units == "rate"
+        with pytest.raises(ConfigurationError, match="workload.units"):
+            WorkloadSpec(kind="trace", path="some.csv", units="bogus")
+        with pytest.raises(ConfigurationError, match="workload.column"):
+            WorkloadSpec(kind="trace", path="some.csv", column=-1)
+        with pytest.raises(ConfigurationError, match="workload.column"):
+            WorkloadSpec(kind="trace", path="some.csv", column=1.5)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("path", "some.csv"),
+            ("column", 1),
+            ("units", "rate"),
+            ("spike_every", 10),
+            ("spike_magnitude", 2.0),
+            ("spike_decay", 5.0),
+            ("zipf_exponent", 0.8),
+            ("rotate_every", 10),
+        ],
+    )
+    def test_kind_specific_fields_rejected_elsewhere(self, field, value):
+        with pytest.raises(ConfigurationError, match=f"workload.{field}"):
+            WorkloadSpec(kind="synthetic", **{field: value})
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("spike_every", 0),
+            ("spike_every", 1.5),
+            ("spike_magnitude", 0.0),
+            ("spike_decay", -1.0),
+        ],
+    )
+    def test_flashcrowd_fields_validated(self, field, value):
+        with pytest.raises(ConfigurationError, match=f"workload.{field}"):
+            WorkloadSpec(kind="flashcrowd", **{field: value})
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [("zipf_exponent", -0.1), ("rotate_every", 0), ("rotate_every", 2.5)],
+    )
+    def test_zipfmix_fields_validated(self, field, value):
+        with pytest.raises(ConfigurationError, match=f"workload.{field}"):
+            WorkloadSpec(kind="zipfmix", **{field: value})
+
+    def test_every_new_field_round_trips_through_json(self):
+        for workload in (
+            WorkloadSpec(
+                kind="trace", path="some.csv", column=3, units="rate"
+            ),
+            WorkloadSpec(
+                kind="flashcrowd",
+                rate=50.0,
+                spike_every=60,
+                spike_magnitude=3.0,
+                spike_decay=12.0,
+            ),
+            WorkloadSpec(
+                kind="zipfmix", rate=120.0, zipf_exponent=0.9, rotate_every=40
+            ),
+        ):
+            spec = ScenarioSpec(workload=workload)
+            rebuilt = ScenarioSpec.from_json(spec.to_json())
+            assert rebuilt == spec
+            assert rebuilt.workload == workload
+
+    def test_every_new_field_reachable_through_overrides(self):
+        base = ScenarioSpec(
+            workload=WorkloadSpec(kind="flashcrowd", rate=40.0)
+        )
+        for key, value in {
+            "workload.rate": 55.0,
+            "workload.spike_every": 30,
+            "workload.spike_magnitude": 6.0,
+            "workload.spike_decay": 9.0,
+        }.items():
+            updated = base.with_overrides(**{key: value})
+            assert getattr(updated.workload, key.split(".")[1]) == value
+        zipf = base.with_overrides(
+            workload={"kind": "zipfmix", "spike_every": None, "rotate_every": 20}
+        )
+        assert zipf.workload.rotate_every == 20
+        trace = base.with_overrides(
+            workload={
+                "kind": "trace",
+                "rate": None,
+                "path": "some.csv",
+                "units": "count",
+            }
+        )
+        assert trace.workload.path == "some.csv"
+
+    def test_override_to_invalid_combination_rejected(self):
+        base = ScenarioSpec(workload=WorkloadSpec(kind="synthetic"))
+        with pytest.raises(ConfigurationError, match="workload.spike_every"):
+            base.with_overrides(**{"workload.spike_every": 10})
 
 
 class TestControlSpec:

@@ -1,0 +1,94 @@
+"""Tests for the flash-crowd workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.workload import (
+    FlashCrowdSpec,
+    flashcrowd_rate_profile,
+    flashcrowd_trace,
+)
+
+
+class TestFlashCrowdSpec:
+    def test_defaults_valid(self):
+        spec = FlashCrowdSpec()
+        assert spec.sub_bins_per_l1 == 4
+        assert spec.onsets == tuple(range(60, 400, 120))
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("l1_samples", 0),
+            ("base_rate", 0.0),
+            ("spike_every", 0),
+            ("spike_magnitude", -1.0),
+            ("spike_decay", 0.0),
+            ("spike_rise", 0),
+            ("noise_fraction", -0.1),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigurationError):
+            FlashCrowdSpec(**{field: value})
+
+    def test_sub_bins_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            FlashCrowdSpec(sub_bin_seconds=50.0)
+
+
+class TestRateProfile:
+    def test_quiet_before_first_onset(self):
+        spec = FlashCrowdSpec(l1_samples=100, spike_every=80, base_rate=30.0)
+        rate = flashcrowd_rate_profile(spec)
+        np.testing.assert_allclose(rate[: spec.onsets[0]], 30.0)
+
+    def test_peak_reaches_magnitude(self):
+        spec = FlashCrowdSpec(
+            l1_samples=100, spike_every=80, base_rate=30.0, spike_magnitude=4.0
+        )
+        rate = flashcrowd_rate_profile(spec)
+        peak = rate.max()
+        assert peak == pytest.approx(30.0 * (1.0 + 4.0), rel=1e-6)
+        assert rate.argmax() == spec.onsets[0] + spec.spike_rise - 1
+
+    def test_spike_decays(self):
+        spec = FlashCrowdSpec(
+            l1_samples=200, spike_every=160, base_rate=30.0, spike_decay=10.0
+        )
+        rate = flashcrowd_rate_profile(spec)
+        onset = spec.onsets[0]
+        # Several decay constants later the crowd has largely dispersed.
+        assert rate[onset + 50] < 30.0 + 0.1 * rate.max()
+
+    def test_spike_train_repeats(self):
+        spec = FlashCrowdSpec(l1_samples=300, spike_every=100)
+        rate = flashcrowd_rate_profile(spec)
+        for onset in spec.onsets:
+            assert rate[onset + spec.spike_rise - 1] > 2.0 * spec.base_rate
+
+
+class TestFlashCrowdTrace:
+    def test_shape_and_bins(self):
+        spec = FlashCrowdSpec(l1_samples=50)
+        trace = flashcrowd_trace(spec, seed=0)
+        assert len(trace) == 50 * 4
+        assert trace.bin_seconds == 30.0
+        assert np.all(trace.counts >= 0)
+
+    def test_seed_determinism(self):
+        spec = FlashCrowdSpec(l1_samples=40)
+        a = flashcrowd_trace(spec, seed=3)
+        b = flashcrowd_trace(spec, seed=3)
+        c = flashcrowd_trace(spec, seed=4)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        assert not np.array_equal(a.counts, c.counts)
+
+    def test_counts_track_rate_profile(self):
+        spec = FlashCrowdSpec(l1_samples=120, noise_fraction=0.0)
+        trace = flashcrowd_trace(spec, seed=0)
+        per_sub = np.repeat(
+            flashcrowd_rate_profile(spec) * spec.sub_bin_seconds, 4
+        )
+        np.testing.assert_allclose(trace.counts, per_sub)

@@ -112,3 +112,90 @@ class TestCsvPersistence:
         trace.save_csv(path)
         loaded = ArrivalTrace.load_csv(path)
         assert np.allclose(loaded.counts, trace.counts, rtol=1e-5)
+
+
+class TestLoadFile:
+    def _load(self, tmp_path, text, **kwargs):
+        from repro.workload import ArrivalTrace
+
+        path = tmp_path / "trace.txt"
+        path.write_text(text)
+        return ArrivalTrace.load_file(path, **kwargs)
+
+    def test_rate_units_scale_by_bin_width(self, tmp_path):
+        trace = self._load(
+            tmp_path,
+            "time_seconds,rate_rps\n0,10\n120,20\n240,30\n",
+            units="rate",
+        )
+        assert trace.bin_seconds == 120.0
+        assert np.allclose(trace.counts, [1200.0, 2400.0, 3600.0])
+
+    def test_bin_width_inferred_from_time_column(self, tmp_path):
+        trace = self._load(tmp_path, "0,5\n60,7\n120,9\n")
+        assert trace.bin_seconds == 60.0
+        assert np.allclose(trace.counts, [5.0, 7.0, 9.0])
+
+    def test_whitespace_delimited(self, tmp_path):
+        trace = self._load(tmp_path, "0 5\n30 7\n60 9\n")
+        assert trace.bin_seconds == 30.0
+        assert np.allclose(trace.counts, [5.0, 7.0, 9.0])
+
+    def test_explicit_column_pick(self, tmp_path):
+        trace = self._load(
+            tmp_path, "0,100,5\n30,200,7\n", column=1, bin_seconds=30.0
+        )
+        assert np.allclose(trace.counts, [100.0, 200.0])
+
+    def test_single_column_with_explicit_bin(self, tmp_path):
+        trace = self._load(tmp_path, "5\n7\n9\n", bin_seconds=30.0)
+        assert np.allclose(trace.counts, [5.0, 7.0, 9.0])
+
+    def test_header_comment_wins_without_argument(self, tmp_path):
+        trace = self._load(tmp_path, "# bin_seconds=15\n5\n7\n")
+        assert trace.bin_seconds == 15.0
+
+    def test_explicit_bin_overrides_header(self, tmp_path):
+        trace = self._load(
+            tmp_path, "# bin_seconds=15\n5\n7\n", bin_seconds=60.0
+        )
+        assert trace.bin_seconds == 60.0
+
+    def test_bad_units_rejected(self, tmp_path):
+        from repro.common import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="units"):
+            self._load(tmp_path, "0,5\n30,7\n", units="bogus")
+
+    def test_missing_column_rejected(self, tmp_path):
+        from repro.common import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="column"):
+            self._load(tmp_path, "0,5\n30,7\n", column=7)
+
+    def test_empty_file_rejected(self, tmp_path):
+        from repro.common import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="no data rows"):
+            self._load(tmp_path, "# bin_seconds=30\n")
+
+    def test_missing_file_rejected(self, tmp_path):
+        from repro.common import ConfigurationError
+        from repro.workload import ArrivalTrace
+
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            ArrivalTrace.load_file(tmp_path / "nope.csv")
+
+    def test_irregular_time_column_rejected(self, tmp_path):
+        from repro.common import ConfigurationError
+
+        # A dropped row (gap between 60 and 240) must not load as a
+        # uniform trace with everything shifted earlier in time.
+        with pytest.raises(ConfigurationError, match="regularly spaced"):
+            self._load(tmp_path, "0,5\n60,7\n240,9\n300,11\n")
+
+    def test_irregular_times_allowed_with_explicit_bin(self, tmp_path):
+        trace = self._load(
+            tmp_path, "0,5\n60,7\n240,9\n", bin_seconds=60.0
+        )
+        assert trace.bin_seconds == 60.0
