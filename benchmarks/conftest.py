@@ -4,6 +4,12 @@ Expensive artefacts (trained maps, full experiment runs) are built once
 per session and shared across benchmark files. Figure renderings are
 printed and also written to ``benchmarks/out/*.txt``.
 
+The committed ``benchmarks/out/*.txt`` reports hold only deterministic
+content, so they change exactly when results change. Wall-clock
+measurements (controller seconds, path times) are still printed and
+written — to the untracked ``benchmarks/out/volatile/`` sidecar — via
+the ``volatile=`` argument of the :func:`report` fixture.
+
 Set ``REPRO_BENCH_FAST=1`` to shrink the traces (quick smoke pass).
 """
 
@@ -35,12 +41,24 @@ def out_dir() -> Path:
 
 @pytest.fixture(scope="session")
 def report(out_dir):
-    """Callable writing a named report to stdout and benchmarks/out/."""
+    """Callable writing a named report to stdout and benchmarks/out/.
 
-    def _write(name: str, text: str) -> None:
+    ``volatile`` carries the wall-clock portion of a report (timings
+    vary per host and per run): it is printed and written to the
+    untracked ``benchmarks/out/volatile/`` sidecar, keeping the
+    committed report file deterministic.
+    """
+
+    def _write(name: str, text: str, volatile: "str | None" = None) -> None:
         print()
         print(text)
         (out_dir / f"{name}.txt").write_text(text + "\n")
+        if volatile is not None:
+            print()
+            print(volatile)
+            side_dir = out_dir / "volatile"
+            side_dir.mkdir(exist_ok=True)
+            (side_dir / f"{name}.txt").write_text(volatile + "\n")
 
     return _write
 

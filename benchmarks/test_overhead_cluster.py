@@ -27,33 +27,47 @@ def test_overhead_cluster_path(benchmark, report, fig6_result):
     path16 = sixteen.hierarchy_path_seconds()
     path20 = twenty.hierarchy_path_seconds()
 
-    lines = ["OVH2 — hierarchy path execution time vs cluster size", ""]
+    # Committed report: the deterministic search-size metric only; the
+    # measured path times go to the untracked volatile sidecar.
+    lines = ["OVH2 — hierarchy search size vs cluster size", ""]
     lines.append(
-        f"{'computers':>10} | {'modules':>8} | {'path time/period':>18} | "
-        f"{'L2 states/period':>16}"
+        f"{'computers':>10} | {'modules':>8} | {'L2 states/period':>16}"
     )
-    lines.append("-" * 62)
+    lines.append("-" * 42)
     lines.append(
-        f"{16:>10} | {4:>8} | {1e3 * path16:>15.1f} ms | "
-        f"{sixteen.l2_stats.mean_states:>16.0f}"
+        f"{16:>10} | {4:>8} | {sixteen.l2_stats.mean_states:>16.0f}"
     )
     lines.append(
-        f"{20:>10} | {5:>8} | {1e3 * path20:>15.1f} ms | "
-        f"{twenty.l2_stats.mean_states:>16.0f}"
+        f"{20:>10} | {5:>8} | {twenty.l2_stats.mean_states:>16.0f}"
     )
     lines.append("")
     lines.append("paper-vs-measured:")
     lines.append(
-        "  paper (MATLAB 2006): 2.5 s (16 computers) -> 3.4 s (20 "
-        "computers); 1.36x growth"
+        "  paper (MATLAB 2006): near-flat execution-time growth with "
+        "cluster size — the L2 only ever reasons about p modules"
+    )
+    lines.append(
+        "  measured (CPython): L2 simplex grows 286 -> 1001 vectors from "
+        "p=4 to p=5; L1/L0 path unchanged (wall-clock path times: see "
+        "benchmarks/out/volatile/)"
     )
     growth = path20 / max(path16, 1e-12)
-    lines.append(
-        f"  measured (CPython): {1e3 * path16:.1f} ms -> {1e3 * path20:.1f} ms; "
-        f"{growth:.2f}x growth (L2 simplex grows 286 -> 1001 vectors; L1/L0 "
-        "path unchanged)"
+    volatile = "\n".join(
+        [
+            "OVH2 (volatile) — hierarchy path time, this host/run",
+            "",
+            f"{'computers':>10} | {'modules':>8} | {'path time/period':>18}",
+            "-" * 44,
+            f"{16:>10} | {4:>8} | {1e3 * path16:>15.1f} ms",
+            f"{20:>10} | {5:>8} | {1e3 * path20:>15.1f} ms",
+            "",
+            "  paper (MATLAB 2006): 2.5 s (16 computers) -> 3.4 s (20 "
+            "computers); 1.36x growth",
+            f"  measured (CPython): {1e3 * path16:.1f} ms -> "
+            f"{1e3 * path20:.1f} ms; {growth:.2f}x growth",
+        ]
     )
-    report("overhead_cluster", "\n".join(lines))
+    report("overhead_cluster", "\n".join(lines), volatile=volatile)
 
     assert sixteen.summary().mean_response < 4.0
     assert twenty.summary().mean_response < 4.0

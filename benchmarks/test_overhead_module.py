@@ -62,36 +62,55 @@ def test_overhead_module_size(benchmark, report, m, behavior_maps):
     assert decision.states_explored > 0
 
     if len(_REPORTS) == 3:
+        # Committed report: the deterministic search-size metric only.
+        # Wall-clock timings vary per host/run, so they go to the
+        # untracked volatile sidecar instead of churning the repo.
         lines = ["OVH1 — module controller overhead vs module size", ""]
-        lines.append(
-            f"{'m':>4} | {'L1 states/period':>16} | {'L1 total (s)':>12} | "
-            f"{'L0 total (s)':>12} | {'combined (s)':>12}"
-        )
-        lines.append("-" * 72)
+        lines.append(f"{'m':>4} | {'L1 states/period':>16}")
+        lines.append("-" * 24)
         for size in (4, 6, 10):
             r = _REPORTS[size]
-            lines.append(
-                f"{size:>4} | {r.l1_mean_states:>16.0f} | "
-                f"{r.l1_total_seconds:>12.2f} | {r.l0_total_seconds:>12.2f} | "
-                f"{r.combined_seconds:>12.2f}"
-            )
+            lines.append(f"{size:>4} | {r.l1_mean_states:>16.0f}")
         lines.append("")
         lines.append("paper-vs-measured:")
         lines.append(
-            "  paper (MATLAB 2006): ~858 states/period at m=4; combined "
-            "times 2.0 / 1.1 / 2.0 s for m = 4 / 6 / 10 (flat in m)"
+            "  paper (MATLAB 2006): ~858 states/period at m=4; bounded "
+            "search keeps the state count low as the module grows"
         )
         r4, r6, r10 = _REPORTS[4], _REPORTS[6], _REPORTS[10]
         lines.append(
-            f"  measured (CPython): {r4.l1_mean_states:.0f} states/period at "
-            f"m=4; combined {r4.combined_seconds:.2f} / "
+            f"  measured (CPython): {r4.l1_mean_states:.0f} / "
+            f"{r6.l1_mean_states:.0f} / {r10.l1_mean_states:.0f} "
+            "states/period for m = 4 / 6 / 10 (wall-clock timings: see "
+            "benchmarks/out/volatile/)"
+        )
+        volatile = [
+            "OVH1 (volatile) — wall-clock controller times, this host/run",
+            "",
+            f"{'m':>4} | {'L1 total (s)':>12} | {'L0 total (s)':>12} | "
+            f"{'combined (s)':>12}",
+            "-" * 50,
+        ]
+        for size in (4, 6, 10):
+            r = _REPORTS[size]
+            volatile.append(
+                f"{size:>4} | {r.l1_total_seconds:>12.2f} | "
+                f"{r.l0_total_seconds:>12.2f} | {r.combined_seconds:>12.2f}"
+            )
+        volatile.append("")
+        volatile.append(
+            "  paper (MATLAB 2006): combined times 2.0 / 1.1 / 2.0 s for "
+            "m = 4 / 6 / 10 (flat in m)"
+        )
+        volatile.append(
+            f"  measured (CPython): combined {r4.combined_seconds:.2f} / "
             f"{r6.combined_seconds:.2f} / {r10.combined_seconds:.2f} s — "
             f"growth m=4 -> m=10 is "
             f"{r10.combined_seconds / max(r4.combined_seconds, 1e-9):.1f}x "
             "(scalability: far below the 6.3x of a linear-in-(m x states) "
             "centralized search)"
         )
-        report("overhead_module", "\n".join(lines))
+        report("overhead_module", "\n".join(lines), volatile="\n".join(volatile))
 
         # The paper's qualitative claims: hundreds of states per period,
         # and overhead that stays *low* as the module grows — the

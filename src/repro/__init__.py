@@ -52,6 +52,9 @@ Package map:
 ``repro.cluster``   the plant: DVFS processors, power states, modules
 ``repro.workload``  synthetic and WC'98-shaped traces, Zipf store
 ``repro.approximation``  lookup tables and CART regression trees
+``repro.maps``      the trained-map artifact layer: parallel offline
+                    training plans, content digests, the on-disk
+                    content-addressed cache, and the map provider
 ``repro.sim``       the stepwise co-simulation engine, observer hooks,
                     and structured results
 ``repro.sweep``     declarative sweep specs over scenario fields,
@@ -117,6 +120,8 @@ from repro.sim import (
     module_experiment,
     overhead_experiment,
 )
+from repro.maps import MapCache, MapProvider, TrainingPlan, map_stats
+from repro.scenario import warm_scenario
 from repro.sweep import (
     GridAxis,
     ListAxis,
@@ -147,6 +152,8 @@ __all__ = [
     "L2Controller",
     "L2Params",
     "ListAxis",
+    "MapCache",
+    "MapProvider",
     "ModuleSimulation",
     "ModuleSpec",
     "PlantSpec",
@@ -156,6 +163,7 @@ __all__ = [
     "SimulationObserver",
     "SimulationOptions",
     "SweepSpec",
+    "TrainingPlan",
     "ThresholdDvfsController",
     "ThresholdOnOffController",
     "WorkloadSpec",
@@ -165,6 +173,7 @@ __all__ = [
     "list_scenarios",
     "list_sweeps",
     "make_baseline",
+    "map_stats",
     "module_experiment",
     "overhead_experiment",
     "paper_cluster_spec",
@@ -176,6 +185,7 @@ __all__ = [
     "run_sweep",
     "scaled_module_spec",
     "synthetic_trace",
+    "warm_scenario",
     "wc98_trace",
     "write_report",
 ]

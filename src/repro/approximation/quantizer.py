@@ -77,3 +77,18 @@ class GridQuantizer:
         """Iterate every grid point (cartesian product, row-major)."""
         for combo in itertools.product(*(arr.tolist() for arr in self.levels)):
             yield tuple(float(v) for v in combo)
+
+    # ------------------------------------------------------------------
+    # Serialisation (trained-map artifacts round-trip through JSON)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; JSON-safe and loss-free (floats round-trip)."""
+        return {"levels": [arr.tolist() for arr in self.levels]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GridQuantizer":
+        """Rebuild a quantizer from :meth:`to_dict` output (revalidates)."""
+        if "levels" not in payload:
+            raise ConfigurationError("quantizer payload needs a 'levels' key")
+        return cls(payload["levels"])

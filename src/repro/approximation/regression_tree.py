@@ -161,6 +161,57 @@ class RegressionTree:
             raise NotTrainedError("RegressionTree.fit must be called before use")
         return self._root
 
+    # ------------------------------------------------------------------
+    # Serialisation (trained-map artifacts round-trip through JSON)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form of the fitted tree; JSON-safe and loss-free."""
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "min_variance_reduction": self.min_variance_reduction,
+            "n_features": self._n_features,
+            "root": self._node_to_dict(self._require_fit()),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RegressionTree":
+        """Rebuild a fitted tree from :meth:`to_dict` output."""
+        for key in ("max_depth", "min_samples_leaf", "n_features", "root"):
+            if key not in payload:
+                raise ConfigurationError(f"tree payload needs a {key!r} key")
+        tree = cls(
+            max_depth=payload["max_depth"],
+            min_samples_leaf=payload["min_samples_leaf"],
+            min_variance_reduction=payload.get("min_variance_reduction", 1e-9),
+        )
+        tree._n_features = int(payload["n_features"])
+        tree._root = cls._node_from_dict(payload["root"])
+        return tree
+
+    @classmethod
+    def _node_to_dict(cls, node: _Node) -> dict:
+        if node.is_leaf:
+            return {"prediction": node.prediction}
+        return {
+            "prediction": node.prediction,
+            "feature": node.feature,
+            "threshold": node.threshold,
+            "left": cls._node_to_dict(node.left),
+            "right": cls._node_to_dict(node.right),
+        }
+
+    @classmethod
+    def _node_from_dict(cls, payload: dict) -> _Node:
+        node = _Node(prediction=float(payload["prediction"]))
+        if "left" in payload:
+            node.feature = int(payload["feature"])
+            node.threshold = float(payload["threshold"])
+            node.left = cls._node_from_dict(payload["left"])
+            node.right = cls._node_from_dict(payload["right"])
+        return node
+
     def _measure_depth(self, node: _Node) -> int:
         if node.is_leaf:
             return 0

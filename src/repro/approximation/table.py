@@ -63,6 +63,25 @@ class LookupTableMap:
             return hit.copy()
         return self._nearest_populated(key).copy()
 
+    def exact_at(self, indices: "tuple[int, ...]") -> "np.ndarray | None":
+        """Stored output at exact grid ``indices``, or ``None`` if empty.
+
+        The hot-path counterpart of :meth:`query`: no snapping, no
+        neighbour fallback, no copy. The returned array is the table's
+        own storage — callers must treat it as read-only (use
+        :meth:`query` for an owned copy).
+        """
+        return self._table.get(indices)
+
+    def exact(self, point: Sequence[float]) -> "np.ndarray | None":
+        """Stored output for the cell containing ``point`` (no fallback).
+
+        Snaps ``point`` to its grid cell and returns that cell's stored
+        vector, or ``None`` when the cell was never populated. Same
+        read-only contract as :meth:`exact_at`.
+        """
+        return self._table.get(self.quantizer.snap_indices(point))
+
     def adjust(
         self,
         point: Sequence[float],
@@ -82,6 +101,53 @@ class LookupTableMap:
             self._table[key] = value.copy()
         else:
             self._table[key] = (1 - learning_rate) * current + learning_rate * value
+
+    # ------------------------------------------------------------------
+    # Serialisation (trained-map artifacts round-trip through JSON)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; JSON-safe and loss-free (floats round-trip).
+
+        Cell keys serialise as row-major index lists alongside their
+        output vectors, so sparse tables round-trip without inventing
+        entries.
+        """
+        cells = [
+            [list(key), value.tolist()]
+            for key, value in sorted(self._table.items())
+        ]
+        return {
+            "quantizer": self.quantizer.to_dict(),
+            "output_dim": self.output_dim,
+            "cells": cells,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LookupTableMap":
+        """Rebuild a table from :meth:`to_dict` output (revalidates)."""
+        for key in ("quantizer", "output_dim", "cells"):
+            if key not in payload:
+                raise ConfigurationError(f"table payload needs a {key!r} key")
+        table = cls(
+            GridQuantizer.from_dict(payload["quantizer"]),
+            output_dim=int(payload["output_dim"]),
+        )
+        for key, value in payload["cells"]:
+            indices = tuple(int(i) for i in key)
+            if len(indices) != table.quantizer.dimensions:
+                raise ConfigurationError(
+                    f"cell key {indices} does not match the "
+                    f"{table.quantizer.dimensions}-dimensional grid"
+                )
+            output = np.asarray(value, dtype=float).reshape(-1)
+            if output.shape != (table.output_dim,):
+                raise ConfigurationError(
+                    f"cell output must have {table.output_dim} entries, "
+                    f"got {output.shape}"
+                )
+            table._table[indices] = output
+        return table
 
     def _nearest_populated(self, key: tuple[int, ...]) -> np.ndarray:
         best_key = min(

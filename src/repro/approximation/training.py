@@ -43,28 +43,51 @@ class TrainingSet:
             raise ConfigurationError("training set is empty")
         return np.asarray(self.inputs, dtype=float), np.vstack(self.outputs)
 
+    def to_dict(self) -> dict:
+        """Plain-dict form; JSON-safe and loss-free (floats round-trip)."""
+        return {
+            "inputs": [list(point) for point in self.inputs],
+            "outputs": [output.tolist() for output in self.outputs],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainingSet":
+        """Rebuild a training set from :meth:`to_dict` output."""
+        for key in ("inputs", "outputs"):
+            if key not in payload:
+                raise ConfigurationError(
+                    f"training-set payload needs a {key!r} key"
+                )
+        if len(payload["inputs"]) != len(payload["outputs"]):
+            raise ConfigurationError(
+                "training-set inputs and outputs must align"
+            )
+        dataset = cls()
+        for point, output in zip(payload["inputs"], payload["outputs"]):
+            dataset.add(point, output)
+        return dataset
+
 
 def train_table(
     simulate: Callable[[tuple[float, ...]], Sequence[float]],
     quantizer: GridQuantizer,
     output_dim: int = 1,
+    workers: int = 1,
 ) -> tuple[LookupTableMap, TrainingSet]:
     """Sweep every grid point through ``simulate`` and fill a lookup table.
 
-    Returns the populated table plus the raw training set (reusable for
-    tree fitting without re-simulating).
+    A thin front over :class:`repro.maps.plan.TrainingPlan`: ``workers``
+    fans the cells out over a spawn pool (``simulate`` must then be
+    picklable), with the table bit-identical to a serial sweep. Returns
+    the populated table plus the raw training set (reusable for tree
+    fitting without re-simulating).
     """
-    table = LookupTableMap(quantizer, output_dim=output_dim)
-    dataset = TrainingSet()
-    for point in quantizer.grid_points():
-        output = np.asarray(simulate(point), dtype=float).reshape(-1)
-        if output.shape != (output_dim,):
-            raise ConfigurationError(
-                f"simulate returned shape {output.shape}, expected ({output_dim},)"
-            )
-        table.store(point, output)
-        dataset.add(point, output)
-    return table, dataset
+    from repro.maps.plan import TrainingPlan
+
+    plan = TrainingPlan(
+        simulate=simulate, quantizer=quantizer, output_dim=output_dim
+    )
+    return plan.execute(workers=workers)
 
 
 def train_tree(

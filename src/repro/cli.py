@@ -31,6 +31,20 @@ bit-identical to the full recorder:
     python -m repro.cli run workloads/flashcrowd-module --samples 20000 --window 256
     python -m repro.cli run workloads/zipfmix-cluster16 --execution sharded --window 64
 
+Trained-map artifacts — the offline-learned abstraction maps behind the
+hierarchy are content-addressed deployment artifacts. Warm them once
+(optionally training the grid cells on a worker pool), then every run,
+sweep worker, and shard parent loads them instead of retraining, with
+bit-identical results:
+
+.. code-block:: bash
+
+    python -m repro.cli train warm paper/fig6-cluster16 --map-cache out/maps
+    python -m repro.cli train warm paper/fig6-cluster16 --map-cache out/maps --stats
+    python -m repro.cli run paper/fig6-cluster16 --map-cache out/maps
+    python -m repro.cli train list --map-cache out/maps
+    python -m repro.cli train clear --map-cache out/maps
+
 Running sweeps — whole families of scenarios (controller variants x
 seeds x sizes) execute through the sweep subsystem, optionally on a
 process pool, with results stored as JSONL and aggregated into tables:
@@ -122,6 +136,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
         overrides["control.execution"] = args.execution
     if args.window is not None:
         overrides["control.window"] = args.window
+    if args.map_cache is not None:
+        overrides["control.map_cache"] = args.map_cache
     if overrides:
         scenario = scenario.with_overrides(**overrides)
     observers = (ProgressObserver(every=args.progress),) if args.progress else ()
@@ -269,6 +285,77 @@ def _cmd_sweep_list(args: argparse.Namespace) -> None:
         print(f"{row.name:<{width}}  [{row.runs} runs]  {_one_line(row.description)}")
 
 
+def _cmd_train_warm(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.common.errors import ConfigurationError
+    from repro.maps import MapCache, map_stats, reset_map_stats
+    from repro.maps.cache import env_cache_dir
+    from repro.scenario import warm_scenario
+
+    scenario = get_scenario(args.scenario, seed=args.seed)
+    directory = (
+        args.map_cache or scenario.control.map_cache or env_cache_dir()
+    )
+    if directory is None:
+        # Runs resolve --map-cache > control.map_cache > $REPRO_MAP_CACHE
+        # and nothing else, so warming an unreferenced default directory
+        # would be a silent no-op — refuse instead.
+        raise ConfigurationError(
+            "no cache directory to warm: pass --map-cache DIR, set the "
+            "scenario's control.map_cache, or export REPRO_MAP_CACHE"
+        )
+    cache = MapCache(directory)
+    reset_map_stats()
+    artifacts = warm_scenario(scenario, map_cache=cache, workers=args.workers)
+    for artifact in artifacts:
+        print(
+            f"{artifact.kind:<8}  {artifact.digest[:16]}  {artifact.source}",
+            file=sys.stderr,
+        )
+    if not artifacts:
+        print(
+            f"{scenario.name or args.scenario}: no maps to train "
+            "(baseline policies use none)",
+            file=sys.stderr,
+        )
+    stats = map_stats().to_dict()
+    if args.stats:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(
+            f"trainings: {stats['trainings']} "
+            f"(behavior {stats['behavior_trainings']} / "
+            f"module {stats['module_trainings']}) | "
+            f"cache hits: {stats['cache_hits']} | "
+            f"cache dir: {cache.directory}"
+        )
+
+
+def _cmd_train_list(args: argparse.Namespace) -> None:
+    from repro.maps import MapCache
+
+    cache = MapCache(args.map_cache)
+    entries = cache.entries()
+    if not entries:
+        print(f"(no artifacts in {cache.directory})")
+        return
+    for entry in entries:
+        print(
+            f"{entry.kind:<8}  {entry.digest[:16]}  "
+            f"{entry.size_bytes:>9} B  {entry.description}"
+        )
+    print(f"{len(entries)} artifact(s) in {cache.directory}")
+
+
+def _cmd_train_clear(args: argparse.Namespace) -> None:
+    from repro.maps import MapCache
+
+    cache = MapCache(args.map_cache)
+    removed = cache.clear()
+    print(f"removed {removed} artifact(s) from {cache.directory}")
+
+
 def _cmd_fig4(args: argparse.Namespace) -> None:
     scenario = get_scenario(
         "paper/fig4-module4", samples=args.samples, seed=args.seed
@@ -380,6 +467,12 @@ def build_parser() -> argparse.ArgumentParser:
         "to the full recorder)",
     )
     run.add_argument(
+        "--map-cache", default=None, metavar="DIR",
+        help="load/store trained abstraction maps in this directory "
+        "(content-addressed; warm runs skip training, bit-identical "
+        "results)",
+    )
+    run.add_argument(
         "--progress", type=int, nargs="?", const=30, default=0,
         metavar="N", help="report progress every N control periods",
     )
@@ -391,6 +484,48 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "list-scenarios", help="list the registered scenarios"
     )
+
+    train = subparsers.add_parser(
+        "train",
+        help="warm, inspect, or clear the trained-map artifact cache",
+    )
+    train_sub = train.add_subparsers(dest="train_command", required=True)
+
+    train_warm = train_sub.add_parser(
+        "warm",
+        help="train every map a scenario needs into the cache "
+        "(no-op when already cached)",
+    )
+    train_warm.add_argument(
+        "scenario", help="scenario name (see list-scenarios)"
+    )
+    train_warm.add_argument("--seed", type=int, default=None)
+    train_warm.add_argument(
+        "--map-cache", default=None, metavar="DIR",
+        help="cache directory (default: the scenario's control.map_cache, "
+        "then $REPRO_MAP_CACHE; refuses when neither names one, since "
+        "runs resolve the same chain)",
+    )
+    train_warm.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan the training grid cells out over N spawn workers "
+        "(bit-identical tables; default serial)",
+    )
+    train_warm.add_argument(
+        "--stats", action="store_true",
+        help="emit the training/cache counters as JSON to stdout",
+    )
+
+    for name, help_text in (
+        ("list", "list the cached trained-map artifacts"),
+        ("clear", "delete every cached trained-map artifact"),
+    ):
+        sub = train_sub.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--map-cache", default=None, metavar="DIR",
+            help="cache directory (default: $REPRO_MAP_CACHE, then "
+            "~/.cache/repro-maps)",
+        )
 
     sweep = subparsers.add_parser(
         "sweep", help="run and aggregate families of scenarios"
@@ -457,6 +592,13 @@ def main(argv: "list[str] | None" = None) -> int:
             _cmd_run(args)
         elif args.command == "list-scenarios":
             _cmd_list_scenarios(args)
+        elif args.command == "train":
+            handler = {
+                "warm": _cmd_train_warm,
+                "list": _cmd_train_list,
+                "clear": _cmd_train_clear,
+            }[args.train_command]
+            handler(args)
         elif args.command == "sweep":
             handler = {
                 "run": _cmd_sweep_run,

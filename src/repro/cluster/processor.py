@@ -67,6 +67,23 @@ class ProcessorSpec:
             f"{frequency_ghz} GHz not in {self.name}'s frequency set"
         )
 
+    def to_dict(self) -> dict:
+        """Plain-dict form; JSON-safe and loss-free."""
+        return {"name": self.name, "frequencies_ghz": list(self.frequencies_ghz)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProcessorSpec":
+        """Rebuild a processor spec from :meth:`to_dict` output."""
+        try:
+            return cls(
+                name=payload["name"],
+                frequencies_ghz=tuple(payload["frequencies_ghz"]),
+            )
+        except KeyError as error:
+            raise ConfigurationError(
+                f"processor payload missing key {error}"
+            ) from None
+
 
 #: Frequency profiles used across experiments (GHz). C1..C4 realise the
 #: module-of-four in the paper's Fig. 3; the AMD and Pentium M profiles

@@ -67,6 +67,36 @@ class ComputerSpec:
             return self.speed_factor
         return self.processor.max_frequency / REFERENCE_FREQUENCY_GHZ
 
+    def to_dict(self) -> dict:
+        """Plain-dict form; JSON-safe and loss-free."""
+        return {
+            "name": self.name,
+            "processor": self.processor.to_dict(),
+            "base_power": self.base_power,
+            "power_scale": self.power_scale,
+            "speed_factor": self.speed_factor,
+            "boot_delay": self.boot_delay,
+            "boot_energy": self.boot_energy,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ComputerSpec":
+        """Rebuild a computer spec from :meth:`to_dict` output."""
+        try:
+            return cls(
+                name=payload["name"],
+                processor=ProcessorSpec.from_dict(payload["processor"]),
+                base_power=payload["base_power"],
+                power_scale=payload["power_scale"],
+                speed_factor=payload["speed_factor"],
+                boot_delay=payload["boot_delay"],
+                boot_energy=payload["boot_energy"],
+            )
+        except KeyError as error:
+            raise ConfigurationError(
+                f"computer payload missing key {error}"
+            ) from None
+
 
 @dataclass(frozen=True)
 class ModuleSpec:
@@ -91,6 +121,28 @@ class ModuleSpec:
         """Aggregate full-speed capacity (requests/s) for work ``mean_work``."""
         require_positive(mean_work, "mean_work")
         return sum(c.effective_speed_factor for c in self.computers) / mean_work
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; JSON-safe and loss-free."""
+        return {
+            "name": self.name,
+            "computers": [c.to_dict() for c in self.computers],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ModuleSpec":
+        """Rebuild a module spec from :meth:`to_dict` output."""
+        try:
+            return cls(
+                name=payload["name"],
+                computers=tuple(
+                    ComputerSpec.from_dict(c) for c in payload["computers"]
+                ),
+            )
+        except KeyError as error:
+            raise ConfigurationError(
+                f"module payload missing key {error}"
+            ) from None
 
 
 @dataclass(frozen=True)

@@ -51,6 +51,22 @@ from repro.forecast.ewma import EwmaFilter
 from repro.forecast.structural import WorkloadPredictor
 
 
+def _behavior_training_cell(
+    spec: ComputerSpec, l0_params: L0Params, substeps: int, point
+) -> tuple[float, float]:
+    """One behaviour-map grid cell (module-level: picklable for fan-out).
+
+    Builds a fresh L0 controller per cell — ``decide`` is pure given
+    its arguments, so per-cell construction produces floats identical
+    to the historical shared-controller loop, while making the cells
+    independent enough to run on any worker in any order.
+    """
+    controller = L0Controller(spec, l0_params)
+    return ComputerBehaviorMap._simulate_cell(
+        controller, point[0], point[1], point[2], substeps
+    )
+
+
 def _snap_index(grid: list[float], value: float) -> int:
     """Nearest-grid-value index via bisect (hot-path helper)."""
     pos = bisect_left(grid, value)
@@ -101,7 +117,7 @@ class ComputerBehaviorMap:
         self._grids = [list(level) for level in table.quantizer.levels]
 
     @classmethod
-    def train(
+    def training_plan(
         cls,
         spec: ComputerSpec,
         l0_params: L0Params | None = None,
@@ -109,18 +125,21 @@ class ComputerBehaviorMap:
         queue_levels: np.ndarray | None = None,
         rate_levels: np.ndarray | None = None,
         work_levels: np.ndarray | None = None,
-    ) -> "ComputerBehaviorMap":
-        """Offline simulation-based learning of the map (§4.2).
+    ):
+        """The offline-learning campaign as a declarative plan.
 
         The grid defaults cover queue lengths from empty to deep backlog,
         arrival rates from zero to 140 % of the computer's full-speed
         capacity, and the virtual store's processing-time range.
         """
+        from functools import partial
+
+        from repro.maps.plan import TrainingPlan
+
         l0_params = l0_params or L0Params()
         substeps = round(l1_period / l0_params.period)
         if substeps < 1:
             raise ConfigurationError("l1_period must cover >= 1 L0 period")
-        controller = L0Controller(spec, l0_params)
         max_rate = spec.effective_speed_factor / 0.0175
         if queue_levels is None:
             queue_levels = np.array(
@@ -131,12 +150,34 @@ class ComputerBehaviorMap:
         if work_levels is None:
             work_levels = np.array([0.012, 0.0175, 0.023])
         quantizer = GridQuantizer([queue_levels, rate_levels, work_levels])
-        table = LookupTableMap(quantizer, output_dim=2)
-        for point in quantizer.grid_points():
-            cost, final_queue = cls._simulate_cell(
-                controller, point[0], point[1], point[2], substeps
-            )
-            table.store(point, [cost, final_queue])
+        return TrainingPlan(
+            simulate=partial(_behavior_training_cell, spec, l0_params, substeps),
+            quantizer=quantizer,
+            output_dim=2,
+        )
+
+    @classmethod
+    def train(
+        cls,
+        spec: ComputerSpec,
+        l0_params: L0Params | None = None,
+        l1_period: float = 120.0,
+        queue_levels: np.ndarray | None = None,
+        rate_levels: np.ndarray | None = None,
+        work_levels: np.ndarray | None = None,
+        workers: int = 1,
+    ) -> "ComputerBehaviorMap":
+        """Offline simulation-based learning of the map (§4.2).
+
+        Executes :meth:`training_plan`; ``workers > 1`` fans the grid
+        cells out over a spawn-started pool with a bit-identical table.
+        """
+        l0_params = l0_params or L0Params()
+        plan = cls.training_plan(
+            spec, l0_params, l1_period, queue_levels, rate_levels, work_levels
+        )
+        table, _ = plan.execute(workers=workers)
+        substeps = round(l1_period / l0_params.period)
         return cls(spec, table, substeps, l0_params)
 
     @staticmethod
@@ -172,7 +213,7 @@ class ComputerBehaviorMap:
             _snap_index(grid, value)
             for grid, value in zip(self._grids, (queue, rate, work))
         )
-        hit = self.table._table.get(key)
+        hit = self.table.exact_at(key)
         if hit is not None:
             return float(hit[0]), float(hit[1])
         cost, next_queue = self.table.query([queue, rate, work])
@@ -205,6 +246,39 @@ class ComputerBehaviorMap:
             [queue, rate, work],
             [observed_cost, observed_next_queue],
             learning_rate=learning_rate,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation (the cacheable trained artifact)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict artifact form; JSON-safe and loss-free.
+
+        ``from_dict(to_dict(m))`` reproduces every stored float exactly,
+        which is what makes a warm-cache run bit-identical to the cold
+        run that trained the map.
+        """
+        return {
+            "spec": self.spec.to_dict(),
+            "table": self.table.to_dict(),
+            "substeps": self.substeps,
+            "l0_params": self.l0_params.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ComputerBehaviorMap":
+        """Rebuild a trained map from :meth:`to_dict` output."""
+        for key in ("spec", "table", "substeps", "l0_params"):
+            if key not in payload:
+                raise ConfigurationError(
+                    f"behaviour-map payload needs a {key!r} key"
+                )
+        return cls(
+            spec=ComputerSpec.from_dict(payload["spec"]),
+            table=LookupTableMap.from_dict(payload["table"]),
+            substeps=int(payload["substeps"]),
+            l0_params=L0Params.from_dict(payload["l0_params"]),
         )
 
 
@@ -242,22 +316,16 @@ class L1Controller:
     def _train_maps(
         module_spec: ModuleSpec, l0_params: L0Params, params: L1Params
     ) -> "list[ComputerBehaviorMap]":
-        """Train one map per computer, sharing across identical specs."""
-        cache: dict[tuple, ComputerBehaviorMap] = {}
-        maps = []
-        for computer in module_spec.computers:
-            key = (
-                computer.processor.frequencies_ghz,
-                computer.base_power,
-                computer.power_scale,
-                computer.effective_speed_factor,
-            )
-            if key not in cache:
-                cache[key] = ComputerBehaviorMap.train(
-                    computer, l0_params, l1_period=params.period
-                )
-            maps.append(cache[key])
-        return maps
+        """Obtain one map per computer, sharing across identical specs.
+
+        Routed through the artifact layer: identical computers share one
+        trained map (by content digest), and repeated controller
+        constructions in one process reuse the process memo instead of
+        retraining.
+        """
+        from repro.maps.provider import MapProvider
+
+        return MapProvider().behavior_maps(module_spec, l0_params, params)
 
     # ------------------------------------------------------------------
     # Online estimation

@@ -43,6 +43,34 @@ class L2Decision:
     states_explored: int
 
 
+def _module_training_cell(
+    module_spec: ModuleSpec,
+    behavior_maps: "list[ComputerBehaviorMap]",
+    l1_params: L1Params,
+    l0_params: L0Params,
+    point,
+) -> tuple[float, float]:
+    """One module-cost-map grid cell (module-level: picklable for fan-out).
+
+    Builds fresh, stateless controllers per cell — the L1/L0 ``decide``
+    calls are pure given their arguments, so per-cell construction
+    produces floats identical to the historical shared-controller loop
+    while letting cells run on any worker in any order.
+    """
+    l1 = L1Controller(module_spec, behavior_maps, l1_params, l0_params)
+    l0s = [L0Controller(c, l0_params) for c in module_spec.computers]
+    return ModuleCostMap._simulate_cell(
+        module_spec,
+        l1,
+        l0s,
+        float(point[0]),
+        float(point[1]),
+        float(point[2]),
+        l1.substep_count(),
+        l0_params,
+    )
+
+
 class ModuleCostMap:
     """The approximation architecture J~_i for one module.
 
@@ -65,6 +93,52 @@ class ModuleCostMap:
         self.dataset = dataset
 
     @classmethod
+    def training_plan(
+        cls,
+        module_spec: ModuleSpec,
+        behavior_maps: "list[ComputerBehaviorMap]",
+        l1_params: L1Params | None = None,
+        l0_params: L0Params | None = None,
+        queue_levels: np.ndarray | None = None,
+        rate_levels: np.ndarray | None = None,
+        work_levels: np.ndarray | None = None,
+    ):
+        """The offline-learning campaign as a declarative plan.
+
+        Each cell plays one T_L2 interval of the Fig. 2(b) structure:
+        the L1 controller decides (alpha, gamma) for the cell's load,
+        then the L0 controllers and the fluid plant run the module's
+        computers through the interval.
+        """
+        from functools import partial
+
+        from repro.maps.plan import TrainingPlan
+
+        l1_params = l1_params or L1Params()
+        l0_params = l0_params or L0Params()
+        max_rate = module_spec.max_service_rate(0.0175)
+        if queue_levels is None:
+            queue_levels = np.array([0.0, 5.0, 20.0, 80.0, 320.0, 1280.0])
+        if rate_levels is None:
+            rate_levels = np.linspace(0.0, 1.2 * max_rate, 16)
+        if work_levels is None:
+            work_levels = np.array([0.014, 0.021])
+        from repro.approximation.quantizer import GridQuantizer
+
+        quantizer = GridQuantizer([queue_levels, rate_levels, work_levels])
+        return TrainingPlan(
+            simulate=partial(
+                _module_training_cell,
+                module_spec,
+                list(behavior_maps),
+                l1_params,
+                l0_params,
+            ),
+            quantizer=quantizer,
+            output_dim=2,
+        )
+
+    @classmethod
     def train(
         cls,
         module_spec: ModuleSpec,
@@ -75,33 +149,30 @@ class ModuleCostMap:
         rate_levels: np.ndarray | None = None,
         work_levels: np.ndarray | None = None,
         tree_depth: int = 10,
+        workers: int = 1,
     ) -> "ModuleCostMap":
         """Simulate the Fig. 2(b) structure over a training grid.
 
-        Each cell plays one T_L2 interval: the L1 controller decides
-        (alpha, gamma) for the cell's load, then the L0 controllers and
-        the fluid plant run the module's computers through the interval.
+        Executes :meth:`training_plan` (``workers > 1`` fans the cells
+        out over a spawn pool, bit-identical to serial) and fits the two
+        regression trees on the collected dataset.
         """
         l1_params = l1_params or L1Params()
         l0_params = l0_params or L0Params()
-        l1 = L1Controller(module_spec, behavior_maps, l1_params, l0_params)
-        l0s = [L0Controller(c, l0_params) for c in module_spec.computers]
-        max_rate = module_spec.max_service_rate(0.0175)
-        if queue_levels is None:
-            queue_levels = np.array([0.0, 5.0, 20.0, 80.0, 320.0, 1280.0])
-        if rate_levels is None:
-            rate_levels = np.linspace(0.0, 1.2 * max_rate, 16)
-        if work_levels is None:
-            work_levels = np.array([0.014, 0.021])
-        dataset = TrainingSet()
-        for queue in queue_levels:
-            for rate in rate_levels:
-                for work in work_levels:
-                    cost, next_queue = cls._simulate_cell(
-                        module_spec, l1, l0s, float(queue), float(rate),
-                        float(work), l1.substep_count(), l0_params,
-                    )
-                    dataset.add([queue, rate, work], [cost, next_queue])
+        if behavior_maps is None:
+            behavior_maps = L1Controller._train_maps(
+                module_spec, l0_params, l1_params
+            )
+        plan = cls.training_plan(
+            module_spec,
+            behavior_maps,
+            l1_params,
+            l0_params,
+            queue_levels,
+            rate_levels,
+            work_levels,
+        )
+        _, dataset = plan.execute(workers=workers)
         cost_tree = train_tree(dataset, target_column=0, max_depth=tree_depth)
         queue_tree = train_tree(dataset, target_column=1, max_depth=tree_depth)
         return cls(module_spec, cost_tree, queue_tree, dataset)
@@ -167,6 +238,41 @@ class ModuleCostMap:
                     total_cost += module_spec.computers[j].base_power
         next_queue_avg = float(queues.mean())
         return total_cost, next_queue_avg
+
+    # ------------------------------------------------------------------
+    # Serialisation (the cacheable trained artifact)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict artifact form; JSON-safe and loss-free.
+
+        Carries the fitted trees *and* the raw training set, so a cached
+        artifact can be re-fitted with different tree settings without
+        re-simulating the grid.
+        """
+        return {
+            "spec": self.spec.to_dict(),
+            "cost_tree": self.cost_tree.to_dict(),
+            "queue_tree": self.queue_tree.to_dict(),
+            "dataset": self.dataset.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ModuleCostMap":
+        """Rebuild a trained map from :meth:`to_dict` output."""
+        for key in ("spec", "cost_tree", "queue_tree", "dataset"):
+            if key not in payload:
+                raise ConfigurationError(
+                    f"module-map payload needs a {key!r} key"
+                )
+        from repro.approximation.regression_tree import RegressionTree
+
+        return cls(
+            spec=ModuleSpec.from_dict(payload["spec"]),
+            cost_tree=RegressionTree.from_dict(payload["cost_tree"]),
+            queue_tree=RegressionTree.from_dict(payload["queue_tree"]),
+            dataset=TrainingSet.from_dict(payload["dataset"]),
+        )
 
     def cost(self, queue_avg: float, rate: float, work: float) -> float:
         """Predicted module cost for one interval."""

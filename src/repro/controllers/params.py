@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError
@@ -34,6 +35,27 @@ class L0Params:
         require_non_negative(self.robustness_margin, "robustness_margin")
         if self.horizon < 1:
             raise ConfigurationError("horizon must be >= 1")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; JSON-safe and loss-free.
+
+        ``asdict`` recurses into the nested :class:`CostWeights`, so
+        ``weights`` comes out as a plain dict already.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "L0Params":
+        """Rebuild params from :meth:`to_dict` output (revalidates)."""
+        data = dict(payload)
+        if isinstance(data.get("weights"), dict):
+            data["weights"] = CostWeights(**data["weights"])
+        try:
+            return cls(**data)
+        except TypeError as error:
+            raise ConfigurationError(
+                f"invalid L0Params payload: {error}"
+            ) from None
 
 
 @dataclass(frozen=True)
@@ -70,6 +92,20 @@ class L1Params:
             raise ConfigurationError("max_gamma_candidates must be >= 1")
         if self.alpha_radius not in (1, 2):
             raise ConfigurationError("alpha_radius must be 1 or 2")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; JSON-safe and loss-free."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "L1Params":
+        """Rebuild params from :meth:`to_dict` output (revalidates)."""
+        try:
+            return cls(**payload)
+        except TypeError as error:
+            raise ConfigurationError(
+                f"invalid L1Params payload: {error}"
+            ) from None
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,134 @@
+"""Canonical content digests for trained-map artifacts.
+
+A trained abstraction map is fully determined by the *content* that went
+into its offline training: the computer/module spec fields the cell
+simulations read, the quantisation grids, the L0/L1 parameters, and the
+training-code revision. Hashing exactly that content gives every map a
+stable identity — two modules with identical machines share one digest
+(and therefore one training), while any change to a spec, a grid, a
+parameter, or the training code itself produces a new digest and a cache
+miss, never a stale artifact.
+
+Identity deliberately excludes presentation-only fields: computer and
+module *names* never enter a digest (module ``M2`` built from the same
+machines as ``M1`` must hit ``M1``'s cache entry), and neither do boot
+delay/energy, which the behaviour-map cell simulation never reads (the
+fluid rollout models serving computers only; boots are costed by the L1
+search, not by the map).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.cluster.specs import ComputerSpec, ModuleSpec
+from repro.controllers.params import L0Params, L1Params
+
+#: Bump when the training loops, grids, or serialisation format change
+#: in a way that alters trained tables — every cached artifact keyed
+#: under the old version then misses, forcing retraining instead of
+#: silently serving stale numbers.
+MAPS_SCHEMA_VERSION = 1
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, exact floats."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(kind: str, payload: dict) -> str:
+    """SHA-256 over the canonical form of one artifact's identity."""
+    body = canonical_json(
+        {"kind": kind, "schema": MAPS_SCHEMA_VERSION, "content": payload}
+    )
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+def computer_identity(spec: ComputerSpec) -> dict:
+    """The :class:`ComputerSpec` fields map training actually consumes."""
+    return {
+        "frequencies_ghz": list(spec.processor.frequencies_ghz),
+        "base_power": spec.base_power,
+        "power_scale": spec.power_scale,
+        "speed_factor": spec.effective_speed_factor,
+    }
+
+
+def l0_identity(params: L0Params) -> dict:
+    """The :class:`L0Params` fields the cell simulations read."""
+    return {
+        "target_response": params.target_response,
+        "horizon": params.horizon,
+        "period": params.period,
+        "weights": {
+            "tracking": params.weights.tracking,
+            "operating": params.weights.operating,
+            "control_change": params.weights.control_change,
+            "switching": params.weights.switching,
+        },
+        "robustness_margin": params.robustness_margin,
+    }
+
+
+def l1_identity(params: L1Params) -> dict:
+    """The :class:`L1Params` fields the module-map cell simulations read."""
+    return {
+        "period": params.period,
+        "horizon": params.horizon,
+        "gamma_step": params.gamma_step,
+        "switching_weight": params.switching_weight,
+        "use_uncertainty_band": params.use_uncertainty_band,
+        "gamma_neighborhood_moves": params.gamma_neighborhood_moves,
+        "max_gamma_candidates": params.max_gamma_candidates,
+        "alpha_radius": params.alpha_radius,
+        "band_window": params.band_window,
+    }
+
+
+def behavior_map_digest(
+    spec: ComputerSpec,
+    l0_params: L0Params,
+    l1_period: float,
+    grids: "list[list[float]] | None" = None,
+) -> str:
+    """Digest of one computer-behaviour map's training content.
+
+    ``grids`` are the resolved quantiser levels; ``None`` means the
+    :meth:`ComputerBehaviorMap.train` defaults (which depend only on
+    the spec, so the digest stays grid-stable without materialising
+    them here).
+    """
+    return content_digest(
+        "behavior",
+        {
+            "computer": computer_identity(spec),
+            "l0": l0_identity(l0_params),
+            "l1_period": float(l1_period),
+            "grids": grids,
+        },
+    )
+
+
+def module_map_digest(
+    spec: ModuleSpec,
+    l1_params: L1Params,
+    l0_params: L0Params,
+    grids: "list[list[float]] | None" = None,
+    tree_depth: int = 10,
+) -> str:
+    """Digest of one module-cost map's training content.
+
+    The per-computer identities are position-sensitive (the L1 search
+    indexes computers), so reordering machines is a different module.
+    """
+    return content_digest(
+        "module",
+        {
+            "computers": [computer_identity(c) for c in spec.computers],
+            "l1": l1_identity(l1_params),
+            "l0": l0_identity(l0_params),
+            "grids": grids,
+            "tree_depth": int(tree_depth),
+        },
+    )

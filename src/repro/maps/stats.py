@@ -1,0 +1,72 @@
+"""Process-wide counters for map training and cache traffic.
+
+The acceptance criterion behind the whole artifact layer — "a 16-module
+homogeneous cluster performs exactly one behaviour-map training" — is
+only checkable if trainings are counted somewhere global. The counters
+here are incremented by the provider (:mod:`repro.maps.provider`) and
+read by tests and the ``repro train --stats`` CLI. They are plain
+per-process tallies: worker processes keep their own (a sweep worker
+that performs zero trainings reports zero *in that process*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MapStats:
+    """Tallies of what the provider did in this process."""
+
+    #: Full offline trainings actually executed, per artifact kind.
+    behavior_trainings: int = 0
+    module_trainings: int = 0
+    #: Artifacts served from the on-disk content-addressed cache.
+    cache_hits: int = 0
+    #: Disk-cache lookups that found nothing (training followed).
+    cache_misses: int = 0
+    #: Artifacts served from the in-process memo (no disk, no training).
+    memo_hits: int = 0
+    #: Per-digest tallies of how each artifact was obtained, keyed
+    #: ``digest -> "trained" | "cache" | "memo"`` (last source wins).
+    sources: dict = field(default_factory=dict)
+
+    @property
+    def trainings(self) -> int:
+        """Total offline trainings executed (both kinds)."""
+        return self.behavior_trainings + self.module_trainings
+
+    def to_dict(self) -> dict:
+        """JSON-safe counter snapshot (the ``--stats`` payload)."""
+        return {
+            "behavior_trainings": self.behavior_trainings,
+            "module_trainings": self.module_trainings,
+            "trainings": self.trainings,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "memo_hits": self.memo_hits,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (tests and CLI invocations start clean)."""
+        self.behavior_trainings = 0
+        self.module_trainings = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.memo_hits = 0
+        self.sources = {}
+
+
+#: The process-wide instance. Import and read it, or go through
+#: :func:`map_stats` / :func:`reset_map_stats` for discoverability.
+MAP_STATS = MapStats()
+
+
+def map_stats() -> MapStats:
+    """The process-wide training/cache counters."""
+    return MAP_STATS
+
+
+def reset_map_stats() -> None:
+    """Zero the process-wide counters."""
+    MAP_STATS.reset()

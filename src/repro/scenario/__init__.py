@@ -24,7 +24,14 @@ from repro.scenario.registry import (
     register_scenario,
     scenario_names,
 )
-from repro.scenario.runner import build_simulation, build_trace, run_scenario
+from repro.scenario.runner import (
+    WarmedArtifact,
+    build_simulation,
+    build_trace,
+    resolve_control_params,
+    run_scenario,
+    warm_scenario,
+)
 from repro.scenario.spec import (
     ControlSpec,
     FaultSpec,
@@ -40,12 +47,15 @@ __all__ = [
     "RegisteredScenario",
     "Scenario",
     "ScenarioSpec",
+    "WarmedArtifact",
     "WorkloadSpec",
     "build_simulation",
     "build_trace",
     "get_scenario",
     "list_scenarios",
     "register_scenario",
+    "resolve_control_params",
     "run_scenario",
     "scenario_names",
+    "warm_scenario",
 ]

@@ -176,6 +176,16 @@ class Scenario:
         self._control = replace(self._control, window=steps)
         return self
 
+    def map_cache(self, directory: str) -> "Scenario":
+        """Persist trained abstraction maps in ``directory``.
+
+        The offline-learned behaviour/cost maps are stored there
+        content-addressed (:mod:`repro.maps`); warm-cache runs load the
+        artifacts instead of retraining, with bit-identical results.
+        """
+        self._control = replace(self._control, map_cache=str(directory))
+        return self
+
     def with_failures(self, *events: tuple) -> "Scenario":
         """Inject failure/repair events.
 

@@ -16,6 +16,7 @@ identical results.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
@@ -23,6 +24,9 @@ import numpy as np
 from repro.common.errors import ConfigurationError
 from repro.controllers.baselines import _BaselineBase, make_baseline
 from repro.controllers.params import L0Params, L1Params, L2Params
+from repro.maps.cache import env_cache_dir
+from repro.maps.provider import MapProvider
+from repro.maps.stats import MAP_STATS
 from repro.scenario.spec import ScenarioSpec
 from repro.sim.engine import ClusterSimulation, ModuleSimulation, SimulationOptions
 from repro.sim.observers import SimulationObserver
@@ -56,6 +60,28 @@ def _default_module_l1_params(m: int) -> L1Params:
         gamma_neighborhood_moves=1,
         max_gamma_candidates=8,
     )
+
+
+def resolve_control_params(
+    scenario: ScenarioSpec,
+) -> "tuple[L0Params, L1Params, L2Params]":
+    """The concrete controller parameter sets a scenario's run will use.
+
+    Shared by :func:`build_simulation` and :func:`warm_scenario` so the
+    maps warmed into a cache carry exactly the content digests the run
+    will later look up — parameter-resolution drift between the two
+    would read as silent cache misses.
+    """
+    control = scenario.control
+    l0 = L0Params(**control.l0) if control.l0 else L0Params()
+    if control.l1:
+        l1 = L1Params(**control.l1)
+    elif scenario.plant.kind == "module":
+        l1 = _default_module_l1_params(scenario.plant.m)
+    else:
+        l1 = L1Params()
+    l2 = L2Params(**control.l2) if control.l2 else L2Params()
+    return l0, l1, l2
 
 
 def build_trace(
@@ -204,10 +230,11 @@ def build_simulation(
     """
     scenario = _resolve(scenario)
     control = scenario.control
-    if l0_params is None and control.l0:
-        l0_params = L0Params(**control.l0)
-    if l2_params is None and control.l2:
-        l2_params = L2Params(**control.l2)
+    resolved_l0, resolved_l1, resolved_l2 = resolve_control_params(scenario)
+    if l0_params is None:
+        l0_params = resolved_l0
+    if l2_params is None:
+        l2_params = resolved_l2
     options = SimulationOptions(
         warmup_intervals=control.warmup_intervals,
         mean_work=control.mean_work,
@@ -215,9 +242,7 @@ def build_simulation(
         recorder_window=control.window,
     )
     plant = scenario.plant.build()
-    trace, work_series = build_workload(
-        scenario, (l0_params or L0Params()).period
-    )
+    trace, work_series = build_workload(scenario, l0_params.period)
     if scenario.faults and scenario.workload.resolved_samples is None:
         # The spec-level beyond-trace guard needs the trace length, which
         # for a whole-file `trace` workload is only known here: an event
@@ -232,10 +257,7 @@ def build_simulation(
 
     if scenario.plant.kind == "module":
         if l1_params is None:
-            if control.l1:
-                l1_params = L1Params(**control.l1)
-            else:
-                l1_params = _default_module_l1_params(scenario.plant.m)
+            l1_params = resolved_l1
         if baseline is None and control.is_baseline:
             baseline = make_baseline(
                 control.mode, plant, **control.baseline_params
@@ -250,6 +272,7 @@ def build_simulation(
             work_series=work_series,
             options=options,
             failure_events=scenario.faults.events,
+            map_cache=control.map_cache or env_cache_dir(),
         )
 
     if baseline is not None:
@@ -258,8 +281,8 @@ def build_simulation(
             "factory via ClusterSimulation(baseline=...); a single "
             "controller instance cannot serve every module"
         )
-    if l1_params is None and control.l1:
-        l1_params = L1Params(**control.l1)
+    if l1_params is None:
+        l1_params = resolved_l1
     return ClusterSimulation(
         plant,
         trace,
@@ -273,7 +296,65 @@ def build_simulation(
         shard_workers=control.shard_workers,
         failure_events=scenario.faults.events,
         work_series=work_series,
+        map_cache=control.map_cache or env_cache_dir(),
     )
+
+
+@dataclass(frozen=True)
+class WarmedArtifact:
+    """One trained-map artifact a :func:`warm_scenario` call touched."""
+
+    kind: str  # "behavior" | "module"
+    digest: str
+    source: str  # "trained" | "cache" | "memo"
+
+
+def warm_scenario(
+    scenario: "ScenarioSpec | str",
+    map_cache=None,
+    workers: int = 1,
+) -> "list[WarmedArtifact]":
+    """Train or load every trained-map artifact a scenario's run needs.
+
+    Resolves the plant and controller parameters exactly as
+    :func:`build_simulation` would (via :func:`resolve_control_params`),
+    then pulls each distinct behaviour/cost map through the artifact
+    layer — training on a miss, loading on a hit — so a subsequent run
+    against the same cache performs zero trainings. ``map_cache``
+    overrides the scenario's ``control.map_cache`` (``None`` falls back
+    to it); ``workers > 1`` fans the training grid cells out over a
+    spawn pool with bit-identical tables. Baseline scenarios train no
+    maps and return an empty list.
+    """
+    scenario = _resolve(scenario)
+    if scenario.control.is_baseline:
+        return []
+    cache = map_cache if map_cache is not None else scenario.control.map_cache
+    if cache is None:
+        cache = env_cache_dir()
+    l0_params, l1_params, _ = resolve_control_params(scenario)
+    plant = scenario.plant.build()
+    provider = MapProvider(cache=cache, workers=workers)
+    if scenario.plant.kind == "module":
+        module_specs = [plant]
+        warm_module_maps = False  # module runs never query L2 cost maps
+    else:
+        module_specs = list(plant.modules)
+        warm_module_maps = True
+    for module_spec in module_specs:
+        maps = provider.behavior_maps(module_spec, l0_params, l1_params)
+        if warm_module_maps:
+            provider.module_map(module_spec, maps, l1_params, l0_params)
+    # The provider is the single authority on artifact identity: report
+    # exactly the (kind, digest) pairs it served, in first-served order.
+    return [
+        WarmedArtifact(
+            kind=kind,
+            digest=digest,
+            source=MAP_STATS.sources.get(digest, "memo"),
+        )
+        for kind, digest in provider.served
+    ]
 
 
 def run_scenario(

@@ -236,6 +236,15 @@ class ControlSpec:
     month-long trace then runs in constant memory, and the resulting
     :class:`~repro.sim.results.RunSummary` is bit-identical to the full
     recorder's. ``None`` (the default) records the whole horizon.
+
+    ``map_cache`` names a directory for the trained-map artifact cache
+    (:mod:`repro.maps`): the offline-learned behaviour/cost maps are
+    stored there content-addressed, so repeated runs, sweep workers,
+    and ``repro train``-warmed sessions load artifacts instead of
+    retraining — with bit-identical results. ``None`` (the default)
+    falls back to ``$REPRO_MAP_CACHE`` when set and otherwise keeps
+    training in-process only. Hierarchy mode only; baselines train no
+    maps.
     """
 
     mode: str = HIERARCHY_MODE
@@ -248,6 +257,7 @@ class ControlSpec:
     execution: str = "serial"
     shard_workers: int | None = None
     window: int | None = None
+    map_cache: str | None = None
 
     def __post_init__(self) -> None:
         modes = (HIERARCHY_MODE, *BASELINES)
@@ -267,6 +277,17 @@ class ControlSpec:
                 )
         if self.window is not None:
             require_positive_int(self.window, "control.window")
+        if self.map_cache is not None:
+            if not isinstance(self.map_cache, str) or not self.map_cache:
+                raise ConfigurationError(
+                    "control.map_cache must be a non-empty directory path, "
+                    f"got {self.map_cache!r}"
+                )
+            if self.is_baseline:
+                raise ConfigurationError(
+                    "control.map_cache is for hierarchy mode; baseline "
+                    "policies train no abstraction maps"
+                )
         # Validate the overrides eagerly (and the values they carry).
         _params_or_raise(L0Params, self.l0, "L0Params")
         _params_or_raise(L1Params, self.l1, "L1Params")

@@ -53,6 +53,7 @@ from repro.controllers.l2 import L2Controller, ModuleCostMap
 from repro.controllers.params import L0Params, L1Params, L2Params
 from repro.controllers.stats import ControllerStats
 from repro.forecast.structural import WorkloadPredictor
+from repro.maps.provider import MapProvider
 from repro.sim.observers import (
     ClusterRecorder,
     L1DecisionEvent,
@@ -106,6 +107,7 @@ class ModuleSimulation:
         work_series: np.ndarray | None = None,
         options: SimulationOptions | None = None,
         failure_events: "tuple[tuple[float, int, str], ...]" = (),
+        map_cache=None,
     ) -> None:
         self.spec = spec
         self.l0_params = l0_params or L0Params()
@@ -125,6 +127,14 @@ class ModuleSimulation:
         )
         self.baseline = baseline
         if baseline is None:
+            if behavior_maps is None:
+                # Route training through the artifact layer: identical
+                # computers share one map, repeated constructions reuse
+                # the process memo, and ``map_cache`` persists the
+                # artifacts across processes and runs.
+                behavior_maps = MapProvider(cache=map_cache).behavior_maps(
+                    spec, self.l0_params, self.l1_params
+                )
             self.l1: L1Controller | None = L1Controller(
                 spec, behavior_maps, self.l1_params, self.l0_params
             )
@@ -438,6 +448,10 @@ class ClusterSimulation:
     ``work_series`` supplies a per-T_L0-step mean service demand
     (seconds/request) aligned with the trace — the Zipf-mix workloads'
     drifting ``c`` — and defaults to the constant ``options.mean_work``.
+    ``map_cache`` (a :class:`~repro.maps.cache.MapCache` or directory
+    path) persists the offline-trained abstraction maps on disk,
+    content-addressed; a warm cache turns construction-time training
+    into artifact loads with bit-identical results.
     """
 
     def __init__(
@@ -455,6 +469,7 @@ class ClusterSimulation:
         shard_workers: "int | None" = None,
         failure_events: "tuple[tuple[float, int, int, str], ...]" = (),
         work_series: np.ndarray | None = None,
+        map_cache=None,
     ) -> None:
         self.spec = spec
         self.l0_params = l0_params or L0Params()
@@ -532,35 +547,26 @@ class ClusterSimulation:
             )
             self._static_gamma = capacities / capacities.sum()
             return
-        # Train (or accept) the per-module approximation architectures.
-        behavior_cache: dict[tuple, ComputerBehaviorMap] = {}
-        map_cache: dict[tuple, ModuleCostMap] = {}
+        # Obtain (or accept) the per-module approximation architectures
+        # through the trained-map artifact layer: every distinct content
+        # digest trains at most once per cache, identical computers and
+        # modules share instances within this simulation, and
+        # ``map_cache`` persists the artifacts across processes and runs
+        # (shard/sweep workers receive trained maps, never retrain).
+        provider = MapProvider(cache=map_cache)
         for module_spec in spec.modules:
-            maps = []
-            for computer in module_spec.computers:
-                key = (
-                    computer.processor.frequencies_ghz,
-                    computer.base_power,
-                    computer.power_scale,
-                    computer.effective_speed_factor,
+            self._behavior_maps.append(
+                provider.behavior_maps(
+                    module_spec, self.l0_params, self.l1_params
                 )
-                if key not in behavior_cache:
-                    behavior_cache[key] = ComputerBehaviorMap.train(
-                        computer, self.l0_params, l1_period=self.l1_params.period
-                    )
-                maps.append(behavior_cache[key])
-            self._behavior_maps.append(maps)
+            )
         if module_maps is None:
             for module_spec, maps in zip(spec.modules, self._behavior_maps):
-                key = tuple(
-                    (c.processor.frequencies_ghz, c.effective_speed_factor)
-                    for c in module_spec.computers
-                )
-                if key not in map_cache:
-                    map_cache[key] = ModuleCostMap.train(
+                self.module_maps.append(
+                    provider.module_map(
                         module_spec, maps, self.l1_params, self.l0_params
                     )
-                self.module_maps.append(map_cache[key])
+                )
         else:
             if len(module_maps) != spec.module_count:
                 raise ConfigurationError("need one module map per module")

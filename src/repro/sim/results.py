@@ -73,7 +73,13 @@ class RunSummary:
         )
         return cls(**payload)
 
-    def __str__(self) -> str:
+    def deterministic_str(self) -> str:
+        """The one-line rendering minus wall-clock fields.
+
+        Reproducible across hosts and runs — what byte-compared
+        artifacts (committed benchmark reports) should embed, leaving
+        ``ctrl = ...`` to :meth:`__str__` consumers.
+        """
         return (
             f"mean r = {self.mean_response:.2f} s | "
             f"violations = {100 * self.violation_fraction:.2f}% | "
@@ -81,7 +87,12 @@ class RunSummary:
             f"(base {self.base_energy:.0f} / dyn {self.dynamic_energy:.0f} / "
             f"boot {self.transient_energy:.0f}) | "
             f"switches on/off = {self.switch_ons}/{self.switch_offs} | "
-            f"avg on = {self.mean_computers_on:.2f} | "
+            f"avg on = {self.mean_computers_on:.2f}"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.deterministic_str()} | "
             f"ctrl = {self.controller_seconds:.2f} s"
         )
 

@@ -11,6 +11,14 @@ The serial engine drives the runners inline; the sharded backend ships
 them to a pool of persistent, spawn-started worker processes
 (:class:`ShardWorkerPool`) and drives whole control periods at a time.
 
+Trained maps are artifacts here, not work: the parent obtains every
+behaviour map through :class:`repro.maps.MapProvider` (training each
+distinct content once, or loading it from the content-addressed cache)
+*before* runners exist, and the runner pickled to a worker carries its
+controller's already-trained tables — a worker process never trains a
+map. Runners grouped onto one worker ship in a single ``init`` message,
+so maps shared across those modules serialise once, not per module.
+
 Determinism is by construction, not by tolerance: the parent computes
 every cross-module quantity (L2 decisions, arrival shares, global
 forecasts) exactly as the serial path does and ships the resulting

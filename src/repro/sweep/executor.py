@@ -8,6 +8,13 @@ it completes. Workers receive the fully-resolved scenario payload (not a
 registry name), so process pools need no registry state; results come
 back in expansion order on every backend, which is what makes serial and
 parallel stores byte-identical.
+
+Runs that name a trained-map cache (``control.map_cache``) get their
+abstraction maps warmed in the parent before any worker starts: each
+distinct map content trains exactly once per campaign, and the workers
+ship the artifacts in from disk instead of retraining per process —
+the training cost of an N-run hierarchy sweep drops from O(N) to
+O(distinct specs).
 """
 
 from __future__ import annotations
@@ -118,6 +125,29 @@ def _resolve(sweep: "SweepSpec | str") -> SweepSpec:
     )
 
 
+def _prewarm_map_caches(pending: "list[SweepPoint]", workers: int) -> None:
+    """Warm trained-map caches once in the parent, before any fan-out.
+
+    Only runs that opted into a cache (``control.map_cache``, hierarchy
+    mode) are warmed; each distinct map content trains once here and
+    every worker — serial or pooled — then loads the artifact instead
+    of retraining in its own process. The campaign's pool width feeds
+    the training plans, so the grid cells of each map fan out over the
+    same process budget the runs will use (bit-identical tables).
+    """
+    from repro.maps.cache import env_cache_dir
+    from repro.scenario.runner import warm_scenario
+
+    env_fallback = env_cache_dir()
+    for point in pending:
+        control = point.scenario.control
+        # Mirror the run-time resolution chain exactly (control.map_cache
+        # falling back to $REPRO_MAP_CACHE): any run that will read a
+        # cache must find it warm.
+        if not control.is_baseline and (control.map_cache or env_fallback):
+            warm_scenario(point.scenario, workers=workers)
+
+
 def run_sweep(
     sweep: "SweepSpec | str",
     out_dir: "Path | str",
@@ -148,6 +178,7 @@ def run_sweep(
     backend = make_backend(workers)
     if on_start is not None:
         on_start(len(pending), len(points), workers)
+    _prewarm_map_caches(pending, workers)
     payloads = [point.scenario.to_dict() for point in pending]
     for point, summary in zip(pending, backend.map(payloads)):
         row = store.append(point, summary)

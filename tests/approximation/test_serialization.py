@@ -1,0 +1,94 @@
+"""JSON round-trips for the approximation primitives (loss-free floats)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.approximation import (
+    GridQuantizer,
+    LookupTableMap,
+    RegressionTree,
+    TrainingSet,
+)
+from repro.common.errors import ConfigurationError
+
+
+def _json_cycle(payload: dict) -> dict:
+    return json.loads(json.dumps(payload))
+
+
+class TestGridQuantizer:
+    def test_round_trip_exact(self):
+        quantizer = GridQuantizer([[0.1, 0.2, 0.7], np.linspace(0, 1.4, 5)])
+        rebuilt = GridQuantizer.from_dict(_json_cycle(quantizer.to_dict()))
+        assert len(rebuilt.levels) == len(quantizer.levels)
+        for a, b in zip(rebuilt.levels, quantizer.levels):
+            assert np.array_equal(a, b)
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridQuantizer.from_dict({})
+
+
+class TestLookupTableMap:
+    def test_round_trip_exact_including_sparse_cells(self):
+        table = LookupTableMap(
+            GridQuantizer([[0.0, 1.0], [0.0, 1.0]]), output_dim=2
+        )
+        table.store((0.0, 1.0), [1.0 / 3.0, 2.0 / 7.0])
+        table.store((1.0, 0.0), [0.1, 0.2])
+        rebuilt = LookupTableMap.from_dict(_json_cycle(table.to_dict()))
+        assert rebuilt.entries == 2
+        assert rebuilt._table.keys() == table._table.keys()
+        for key in table._table:
+            assert np.array_equal(rebuilt._table[key], table._table[key])
+
+    def test_exact_at_and_exact(self):
+        table = LookupTableMap(GridQuantizer([[0.0, 1.0]]), output_dim=1)
+        table.store((1.0,), [5.0])
+        assert table.exact_at((1,))[0] == 5.0
+        assert table.exact_at((0,)) is None
+        assert table.exact([0.9])[0] == 5.0  # snaps to the 1.0 cell
+        assert table.exact([0.1]) is None  # empty cell, no fallback
+
+    def test_bad_cell_shapes_rejected(self):
+        payload = LookupTableMap(
+            GridQuantizer([[0.0, 1.0]]), output_dim=1
+        ).to_dict()
+        payload["cells"] = [[[0, 0], [1.0]]]  # key arity != dimensions
+        with pytest.raises(ConfigurationError):
+            LookupTableMap.from_dict(payload)
+
+
+class TestRegressionTree:
+    def test_round_trip_predicts_identically(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(size=(64, 3))
+        y = x[:, 0] * 2.0 + (x[:, 1] > 0.5) * 3.0
+        tree = RegressionTree(max_depth=4).fit(x, y)
+        rebuilt = RegressionTree.from_dict(_json_cycle(tree.to_dict()))
+        assert np.array_equal(rebuilt.predict(x), tree.predict(x))
+        assert rebuilt.depth == tree.depth
+        assert rebuilt.leaf_count == tree.leaf_count
+
+    def test_unfitted_tree_cannot_serialise(self):
+        from repro.common.errors import NotTrainedError
+
+        with pytest.raises(NotTrainedError):
+            RegressionTree().to_dict()
+
+
+class TestTrainingSet:
+    def test_round_trip_exact(self):
+        dataset = TrainingSet()
+        dataset.add([0.1, 0.2], [1.0 / 3.0])
+        dataset.add([0.3, 0.4], [2.0 / 7.0])
+        rebuilt = TrainingSet.from_dict(_json_cycle(dataset.to_dict()))
+        assert rebuilt.inputs == dataset.inputs
+        for a, b in zip(rebuilt.outputs, dataset.outputs):
+            assert np.array_equal(a, b)
+
+    def test_misaligned_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrainingSet.from_dict({"inputs": [[0.0]], "outputs": []})

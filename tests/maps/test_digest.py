@@ -1,0 +1,108 @@
+"""Content digests: stable identity, name-blind, parameter-sensitive."""
+
+from repro.cluster.processor import processor_profile
+from repro.cluster.specs import ComputerSpec, ModuleSpec, paper_module_spec
+from repro.controllers.params import L0Params, L1Params
+from repro.core.cost import CostWeights
+from repro.maps.digest import (
+    behavior_map_digest,
+    module_map_digest,
+)
+
+
+def _computer(name: str = "C1", profile: str = "c4") -> ComputerSpec:
+    return ComputerSpec(name=name, processor=processor_profile(profile))
+
+
+class TestBehaviorDigest:
+    def test_stable_across_calls(self):
+        d1 = behavior_map_digest(_computer(), L0Params(), 120.0)
+        d2 = behavior_map_digest(_computer(), L0Params(), 120.0)
+        assert d1 == d2
+
+    def test_name_does_not_enter_identity(self):
+        # M2's machines must hit M1's cache entries.
+        d1 = behavior_map_digest(_computer("M1.C1"), L0Params(), 120.0)
+        d2 = behavior_map_digest(_computer("M7.C3"), L0Params(), 120.0)
+        assert d1 == d2
+
+    def test_boot_fields_do_not_enter_identity(self):
+        # The behaviour-map cell simulation never reads boot delay or
+        # boot energy, so they must not fragment the cache.
+        base = _computer()
+        tweaked = ComputerSpec(
+            name="C1",
+            processor=processor_profile("c4"),
+            boot_delay=999.0,
+            boot_energy=123.0,
+        )
+        assert behavior_map_digest(base, L0Params(), 120.0) == (
+            behavior_map_digest(tweaked, L0Params(), 120.0)
+        )
+
+    def test_processor_changes_identity(self):
+        d1 = behavior_map_digest(_computer(profile="c1"), L0Params(), 120.0)
+        d2 = behavior_map_digest(_computer(profile="c4"), L0Params(), 120.0)
+        assert d1 != d2
+
+    def test_l0_params_change_identity(self):
+        base = behavior_map_digest(_computer(), L0Params(), 120.0)
+        assert base != behavior_map_digest(
+            _computer(), L0Params(target_response=2.0), 120.0
+        )
+        assert base != behavior_map_digest(
+            _computer(),
+            L0Params(weights=CostWeights(tracking=50.0)),
+            120.0,
+        )
+
+    def test_l1_period_changes_identity(self):
+        base = behavior_map_digest(_computer(), L0Params(), 120.0)
+        assert base != behavior_map_digest(_computer(), L0Params(), 240.0)
+
+    def test_custom_grids_change_identity(self):
+        base = behavior_map_digest(_computer(), L0Params(), 120.0)
+        gridded = behavior_map_digest(
+            _computer(), L0Params(), 120.0, grids=[[0.0, 1.0], [0.0], [0.0]]
+        )
+        assert base != gridded
+
+
+class TestModuleDigest:
+    def test_homogeneous_modules_share_identity(self):
+        computers = tuple(
+            ComputerSpec(name=f"M1.C{j}", processor=processor_profile("c4"))
+            for j in range(3)
+        )
+        other = tuple(
+            ComputerSpec(name=f"M9.C{j}", processor=processor_profile("c4"))
+            for j in range(3)
+        )
+        d1 = module_map_digest(
+            ModuleSpec("M1", computers), L1Params(), L0Params()
+        )
+        d2 = module_map_digest(ModuleSpec("M9", other), L1Params(), L0Params())
+        assert d1 == d2
+
+    def test_machine_order_matters(self):
+        spec = paper_module_spec()
+        reordered = ModuleSpec("M1", tuple(reversed(spec.computers)))
+        assert module_map_digest(spec, L1Params(), L0Params()) != (
+            module_map_digest(reordered, L1Params(), L0Params())
+        )
+
+    def test_l1_params_change_identity(self):
+        spec = paper_module_spec()
+        base = module_map_digest(spec, L1Params(), L0Params())
+        assert base != module_map_digest(
+            spec, L1Params(gamma_step=0.1), L0Params()
+        )
+
+    def test_kind_separates_behavior_and_module(self):
+        # A one-computer module and its computer share training content
+        # shape but must never collide in the cache.
+        computer = _computer()
+        module = ModuleSpec("M1", (computer,))
+        assert behavior_map_digest(computer, L0Params(), 120.0) != (
+            module_map_digest(module, L1Params(), L0Params())
+        )

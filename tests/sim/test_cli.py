@@ -29,6 +29,26 @@ class TestParser:
         args = build_parser().parse_args(["list-scenarios"])
         assert args.command == "list-scenarios"
 
+    def test_train_commands(self):
+        args = build_parser().parse_args(
+            ["train", "warm", "paper/fig4-module4", "--map-cache", "x/maps",
+             "--workers", "2", "--stats"]
+        )
+        assert args.command == "train"
+        assert args.train_command == "warm"
+        assert args.map_cache == "x/maps"
+        assert args.workers == 2
+        assert args.stats is True
+        for sub in ("list", "clear"):
+            args = build_parser().parse_args(["train", sub])
+            assert args.train_command == sub
+
+    def test_run_map_cache_flag(self):
+        args = build_parser().parse_args(
+            ["run", "paper/fig4-module4", "--map-cache", "x/maps"]
+        )
+        assert args.map_cache == "x/maps"
+
     def test_run_json_flag(self):
         args = build_parser().parse_args(["run", "paper/fig4-module4", "--json"])
         assert args.json is True
@@ -95,6 +115,24 @@ class TestExecution:
         err = capsys.readouterr().err
         assert "unknown scenario" in err
         assert "paper/fig4-module4" in err  # suggests the registered names
+
+    def test_train_warm_without_any_cache_dir_fails_cleanly(
+        self, capsys, monkeypatch
+    ):
+        # Runs resolve --map-cache > control.map_cache > $REPRO_MAP_CACHE,
+        # so a warm pass with none of the three would never be read.
+        from repro.maps.cache import CACHE_ENV_VAR
+
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert main(["train", "warm", "paper/fig4-module4"]) == 2
+        err = capsys.readouterr().err
+        assert "no cache directory to warm" in err
+
+    def test_train_list_and_clear_smoke(self, tmp_path, capsys):
+        assert main(["train", "list", "--map-cache", str(tmp_path)]) == 0
+        assert "no artifacts" in capsys.readouterr().out
+        assert main(["train", "clear", "--map-cache", str(tmp_path)]) == 0
+        assert "removed 0 artifact(s)" in capsys.readouterr().out
 
     def test_run_bad_samples_fails_cleanly(self, capsys):
         assert main(["run", "paper/fig4-module4", "--samples", "0"]) == 2

@@ -1,0 +1,90 @@
+"""Sweep executor pre-warms trained-map caches before fanning out."""
+
+import pytest
+
+from repro.maps import map_stats, reset_map_stats
+from repro.maps.provider import clear_map_memo
+from repro.scenario import Scenario
+from repro.sweep import GridAxis, SweepSpec, run_sweep
+
+
+@pytest.fixture(autouse=True)
+def _fresh_process_state():
+    reset_map_stats()
+    clear_map_memo()
+    yield
+    reset_map_stats()
+    clear_map_memo()
+
+
+def _sweep(cache_dir) -> SweepSpec:
+    base = (
+        Scenario.module(m=4)
+        .workload("steady", rate=40.0, samples=2)
+        .control(warmup_intervals=1)
+        .map_cache(cache_dir)
+        .build()
+    )
+    return SweepSpec(
+        name="map-warm",
+        base=base,
+        axes=(GridAxis(field="seed", values=(0, 1, 2)),),
+    )
+
+
+class TestPrewarm:
+    def test_campaign_trains_each_content_once(self, tmp_path):
+        # Three runs, four distinct machines: four trainings, not twelve.
+        run_sweep(_sweep(tmp_path / "maps"), tmp_path / "out", workers=1)
+        assert map_stats().behavior_trainings == 4
+
+    def test_second_campaign_reuses_the_cache(self, tmp_path):
+        run_sweep(_sweep(tmp_path / "maps"), tmp_path / "out1", workers=1)
+        clear_map_memo()
+        reset_map_stats()
+        run_sweep(_sweep(tmp_path / "maps"), tmp_path / "out2", workers=1)
+        assert map_stats().trainings == 0
+        assert map_stats().cache_hits == 4
+        store1 = (tmp_path / "out1" / "runs.jsonl").read_text()
+        store2 = (tmp_path / "out2" / "runs.jsonl").read_text()
+        assert store1 == store2
+
+    def test_env_var_only_sweeps_prewarm_too(self, tmp_path, monkeypatch):
+        # Workers resolve control.map_cache OR $REPRO_MAP_CACHE, so the
+        # prewarm must fire for env-var-only campaigns as well.
+        from repro.maps.cache import CACHE_ENV_VAR
+
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "maps"))
+        base = (
+            Scenario.module(m=4)
+            .workload("steady", rate=40.0, samples=2)
+            .control(warmup_intervals=1)
+            .build()
+        )
+        sweep = SweepSpec(
+            name="env-warm",
+            base=base,
+            axes=(GridAxis(field="seed", values=(0, 1)),),
+        )
+        run_sweep(sweep, tmp_path / "out", workers=1)
+        assert map_stats().behavior_trainings == 4
+        assert len(list((tmp_path / "maps").glob("behavior-*.json"))) == 4
+
+    def test_uncached_sweeps_skip_prewarm(self, tmp_path):
+        base = (
+            Scenario.module(m=4)
+            .workload("steady", rate=40.0, samples=2)
+            .control(warmup_intervals=1)
+            .build()
+        )
+        sweep = SweepSpec(
+            name="no-cache",
+            base=base,
+            axes=(GridAxis(field="seed", values=(0,)),),
+        )
+        run_sweep(sweep, tmp_path / "out", workers=1)
+        # The run itself trains (once per process via the memo), but no
+        # artifacts land on disk anywhere under the store.
+        assert not list((tmp_path / "out").glob("*.json"))
+        assert map_stats().cache_hits == 0
+        assert map_stats().cache_misses == 0
