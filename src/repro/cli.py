@@ -140,19 +140,32 @@ def _cmd_run(args: argparse.Namespace) -> None:
         overrides["control.map_cache"] = args.map_cache
     if overrides:
         scenario = scenario.with_overrides(**overrides)
-    observers = (ProgressObserver(every=args.progress),) if args.progress else ()
-    result = run_scenario(scenario, observers=observers)
-    if args.json:
-        import json
+    observers: tuple = (
+        (ProgressObserver(every=args.progress),) if args.progress else ()
+    )
+    recorder = None
+    if args.decisions_out:
+        from repro.sim.observers import DecisionRecorder
 
+        recorder = DecisionRecorder()
+        observers = (*observers, recorder)
+    result = run_scenario(scenario, observers=observers)
+    if recorder is not None:
+        with open(args.decisions_out, "w") as handle:
+            for line in recorder.lines():
+                handle.write(line + "\n")
+    if args.json:
         # Only the deterministic metrics: serial and sharded runs of the
         # same scenario must print byte-identical JSON (the CI gate
-        # `cmp`s them), and wall-clock controller time never could.
-        payload = {
-            "scenario": scenario.name or args.scenario,
-            "summary": result.summary().deterministic_dict(),
-        }
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        # `cmp`s them), and wall-clock controller time never could. The
+        # payload and rendering live in repro.common.schema so the live
+        # service's --summary-out stays byte-compatible.
+        from repro.common.schema import dump_json, run_payload
+
+        payload = run_payload(
+            scenario.name or args.scenario, result.summary()
+        )
+        print(dump_json(payload))
         return
     print(f"=== {scenario.name or args.scenario} ===")
     if scenario.description:
@@ -162,6 +175,89 @@ def _cmd_run(args: argparse.Namespace) -> None:
         _render_cluster_result(result)
     else:
         _render_module_result(result)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServeConfig, run_service
+
+    config = ServeConfig(
+        scenario=args.scenario,
+        samples=args.samples,
+        seed=args.seed,
+        plant=args.plant,
+        feed_host=args.feed_host,
+        feed_port=args.feed_port,
+        feed_file=args.feed_file,
+        control_host=args.host,
+        control_port=args.control_port,
+        tick_seconds=args.tick,
+        deadline_seconds=args.deadline,
+        override_ttl_seconds=args.override_ttl,
+        audit_log=args.audit_log,
+        summary_out=args.summary_out,
+        decisions_out=args.decisions_out,
+        map_cache=args.map_cache,
+    )
+    return run_service(config)
+
+
+def _cmd_ctl(args: argparse.Namespace) -> None:
+    from repro.common.schema import dump_json
+    from repro.service import send_command
+
+    if args.ctl_command == "status":
+        response = send_command(
+            {"cmd": "status"}, host=args.host, port=args.control_port
+        )
+        print(dump_json(response["status"]))
+    elif args.ctl_command == "override":
+        command: dict = {"cmd": "override", "module": args.module}
+        if not args.clear:
+            if args.on is None:
+                from repro.common.errors import ConfigurationError
+
+                raise ConfigurationError(
+                    "override needs --on N (machines to pin) or --clear"
+                )
+            command["on"] = args.on
+            if args.ttl is not None:
+                command["ttl"] = args.ttl
+        response = send_command(
+            command, host=args.host, port=args.control_port
+        )
+        print(dump_json(response["overrides"]))
+    else:  # history
+        response = send_command(
+            {"cmd": "history", "limit": args.limit},
+            host=args.host,
+            port=args.control_port,
+        )
+        import json
+
+        for record in response["history"]:
+            print(json.dumps(record, sort_keys=True))
+
+
+def _cmd_feed(args: argparse.Namespace) -> None:
+    from repro.service import send_observations
+    from repro.service.daemon import feed_lines, resolve_service_scenario, ServeConfig
+
+    scenario = resolve_service_scenario(
+        ServeConfig(
+            scenario=args.scenario, samples=args.samples, seed=args.seed
+        )
+    )
+    sent = send_observations(
+        feed_lines(scenario),
+        host=args.host,
+        port=args.port,
+        connect_timeout=args.connect_timeout,
+    )
+    print(
+        f"fed {sent - 1} observations (+ end marker) to "
+        f"{args.host}:{args.port}",
+        file=sys.stderr,
+    )
 
 
 def _one_line(text: str) -> str:
@@ -480,9 +576,155 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the run summary as JSON to stdout (no charts)",
     )
+    run.add_argument(
+        "--decisions-out", default=None, metavar="FILE",
+        help="write every L2/L1 decision as deterministic JSONL "
+        "(byte-comparable with `repro serve --decisions-out`)",
+    )
 
     subparsers.add_parser(
         "list-scenarios", help="list the registered scenarios"
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run a scenario as a live autonomic service "
+        "(control socket + optional observation feed)",
+    )
+    serve.add_argument("scenario", help="scenario name (see list-scenarios)")
+    serve.add_argument(
+        "--samples", type=int, default=None,
+        help="override the run length in control periods",
+    )
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument(
+        "--plant", choices=("simulated", "replay"), default="simulated",
+        help="simulated: the scenario's own workload drives the run; "
+        "replay: an external observation feed does",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="control-server bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--control-port", type=int, default=7700, metavar="PORT",
+        help="control-server port for `repro ctl` (default 7700)",
+    )
+    serve.add_argument(
+        "--feed-host", default="127.0.0.1",
+        help="feed-socket bind address (replay plant; default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--feed-port", type=int, default=7701, metavar="PORT",
+        help="feed-socket port for `repro feed` (replay plant; default 7701)",
+    )
+    serve.add_argument(
+        "--feed-file", default=None, metavar="FILE",
+        help="tail observations from this newline-JSON file instead of "
+        "a socket (replay plant)",
+    )
+    serve.add_argument(
+        "--tick", type=float, default=None, metavar="SECONDS",
+        help="wall seconds per T_L0 step (default: the scenario's "
+        "service.tick_seconds; 0 = free-running)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-period decision deadline budget; an overrun holds the "
+        "previous allocation and is audited",
+    )
+    serve.add_argument(
+        "--override-ttl", type=float, default=None, metavar="SECONDS",
+        help="default expiry for operator overrides issued without --ttl",
+    )
+    serve.add_argument(
+        "--audit-log", default=None, metavar="FILE",
+        help="append every command/decision audit record to this JSONL "
+        "file (flushed per record)",
+    )
+    serve.add_argument(
+        "--summary-out", default=None, metavar="FILE",
+        help="on a completed horizon, write the summary JSON "
+        "(byte-identical to `repro run --json`)",
+    )
+    serve.add_argument(
+        "--decisions-out", default=None, metavar="FILE",
+        help="write every L2/L1 decision as deterministic JSONL "
+        "(byte-comparable with `repro run --decisions-out`)",
+    )
+    serve.add_argument(
+        "--map-cache", default=None, metavar="DIR",
+        help="load/store trained abstraction maps in this directory",
+    )
+
+    ctl = subparsers.add_parser(
+        "ctl", help="operate a running `repro serve` daemon"
+    )
+    ctl_sub = ctl.add_subparsers(dest="ctl_command", required=True)
+    ctl_status = ctl_sub.add_parser(
+        "status", help="print the live status snapshot as JSON"
+    )
+    ctl_override = ctl_sub.add_parser(
+        "override",
+        help="pin a module's machines-on count (expires after --ttl)",
+    )
+    ctl_override.add_argument(
+        "--module", type=int, default=0, metavar="I",
+        help="module index (default 0; module plants have only 0)",
+    )
+    ctl_override.add_argument(
+        "--on", type=int, default=None, metavar="N",
+        help="pin the module's first N available machines",
+    )
+    ctl_override.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="override lifetime (default: the scenario's "
+        "service.override_ttl_seconds)",
+    )
+    ctl_override.add_argument(
+        "--clear", action="store_true",
+        help="release the module's override instead of setting one",
+    )
+    ctl_history = ctl_sub.add_parser(
+        "history", help="print recent audit records as JSONL"
+    )
+    ctl_history.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="number of most-recent records (default 20)",
+    )
+    for sub in (ctl_status, ctl_override, ctl_history):
+        sub.add_argument(
+            "--host", default="127.0.0.1",
+            help="control-server address (default 127.0.0.1)",
+        )
+        sub.add_argument(
+            "--control-port", type=int, default=7700, metavar="PORT",
+            help="control-server port (default 7700)",
+        )
+
+    feed = subparsers.add_parser(
+        "feed",
+        help="stream a scenario's workload to a `repro serve --plant "
+        "replay` daemon as newline-JSON observations",
+    )
+    feed.add_argument("scenario", help="scenario name (see list-scenarios)")
+    feed.add_argument(
+        "--samples", type=int, default=None,
+        help="override the run length in control periods",
+    )
+    feed.add_argument("--seed", type=int, default=None)
+    feed.add_argument(
+        "--host", default="127.0.0.1",
+        help="feed-socket address (default 127.0.0.1)",
+    )
+    feed.add_argument(
+        "--port", type=int, default=7701, metavar="PORT",
+        help="feed-socket port (default 7701)",
+    )
+    feed.add_argument(
+        "--connect-timeout", type=float, default=120.0, metavar="SECONDS",
+        help="how long to retry the connection (the daemon may still be "
+        "training maps; default 120)",
     )
 
     train = subparsers.add_parser(
@@ -584,7 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
-    from repro.common.errors import ConfigurationError
+    from repro.common.errors import ConfigurationError, ControlError
 
     args = build_parser().parse_args(argv)
     try:
@@ -592,6 +834,12 @@ def main(argv: "list[str] | None" = None) -> int:
             _cmd_run(args)
         elif args.command == "list-scenarios":
             _cmd_list_scenarios(args)
+        elif args.command == "serve":
+            return _cmd_serve(args)
+        elif args.command == "ctl":
+            _cmd_ctl(args)
+        elif args.command == "feed":
+            _cmd_feed(args)
         elif args.command == "train":
             handler = {
                 "warm": _cmd_train_warm,
@@ -609,7 +857,7 @@ def main(argv: "list[str] | None" = None) -> int:
         else:
             handler, _ = _COMMANDS[args.command]
             handler(args)
-    except ConfigurationError as error:
+    except (ConfigurationError, ControlError) as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2
     return 0

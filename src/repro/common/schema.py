@@ -1,0 +1,112 @@
+"""The one JSON schema behind batch summaries and live-service snapshots.
+
+Three byte-compared surfaces share these helpers:
+
+* ``repro run --json`` prints :func:`run_payload` through
+  :func:`dump_json`;
+* ``repro serve --summary-out`` writes the very same payload for the
+  finished run, so the CI ``cmp`` gate can compare the two files;
+* ``repro ctl status`` embeds :func:`summary_payload` (the identical
+  ``summary`` sub-dict) inside :func:`status_payload`.
+
+Decision records — the other ``cmp`` artifact — are shaped here too:
+:func:`l1_decision_record`/:func:`l2_decision_record` turn engine
+decision events into plain dicts, and :func:`decision_line` renders one
+deterministic JSONL line per decision. The batch path
+(:class:`~repro.sim.observers.DecisionRecorder`) and the live service's
+audit projection both go through these functions, so the record shape
+cannot drift between them.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Version of the status-snapshot layout (bump on breaking changes).
+SCHEMA_VERSION = 1
+
+
+def summary_payload(summary) -> dict:
+    """The deterministic summary sub-dict shared by every surface.
+
+    ``summary`` is a :class:`~repro.sim.results.RunSummary`; only the
+    reproducible metrics appear (no wall-clock fields), which is what
+    makes the payload byte-comparable across runs and backends.
+    """
+    return summary.deterministic_dict()
+
+
+def run_payload(scenario_name: str, summary) -> dict:
+    """The ``repro run --json`` / ``repro serve --summary-out`` payload."""
+    return {"scenario": scenario_name, "summary": summary_payload(summary)}
+
+
+def dump_json(payload: dict) -> str:
+    """The canonical rendering every byte-compared JSON surface uses."""
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def l1_decision_record(event) -> dict:
+    """A module-level decision event as a plain deterministic dict."""
+    return {
+        "type": "l1",
+        "period": int(event.period),
+        "module": int(event.module),
+        "alpha": [int(value) for value in event.alpha],
+        "gamma": [float(value) for value in event.gamma],
+        "prediction": float(event.prediction),
+        "held": bool(event.held),
+        "forced": bool(event.forced),
+    }
+
+
+def l2_decision_record(event) -> dict:
+    """A cluster-level decision event as a plain deterministic dict."""
+    return {
+        "type": "l2",
+        "period": int(event.period),
+        "gamma": [float(value) for value in event.gamma],
+        "prediction": float(event.prediction),
+        "held": bool(event.held),
+    }
+
+
+def decision_line(record: dict) -> str:
+    """One JSONL line per decision (sorted keys; floats via ``repr``)."""
+    return json.dumps(record, sort_keys=True)
+
+
+def status_payload(
+    *,
+    scenario: str,
+    state: str,
+    step: int,
+    total_steps: int,
+    period: int,
+    summary,
+    allocations: "list[dict]",
+    forecasts: dict,
+    overrides: "list[dict]",
+    deadline: dict,
+    audit_entries: int,
+) -> dict:
+    """The ``repro ctl status`` snapshot.
+
+    The ``summary`` section is :func:`summary_payload` — field-for-field
+    the same dict ``repro run --json`` prints, which is the drift guard
+    the CI gates rely on.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "scenario": scenario,
+        "state": state,
+        "step": int(step),
+        "total_steps": int(total_steps),
+        "period": int(period),
+        "summary": summary_payload(summary),
+        "allocations": allocations,
+        "forecasts": forecasts,
+        "overrides": overrides,
+        "deadline": deadline,
+        "audit_entries": int(audit_entries),
+    }

@@ -37,6 +37,7 @@ from repro.scenario.spec import (
     FaultSpec,
     PlantSpec,
     ScenarioSpec,
+    ServiceSpec,
     WorkloadSpec,
 )
 
@@ -47,6 +48,7 @@ __all__ = [
     "RegisteredScenario",
     "Scenario",
     "ScenarioSpec",
+    "ServiceSpec",
     "WarmedArtifact",
     "WorkloadSpec",
     "build_simulation",

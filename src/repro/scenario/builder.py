@@ -40,6 +40,7 @@ from repro.scenario.spec import (
     FaultSpec,
     PlantSpec,
     ScenarioSpec,
+    ServiceSpec,
     WorkloadSpec,
 )
 
@@ -58,6 +59,7 @@ class Scenario:
         self._workload: WorkloadSpec | None = None
         self._control = ControlSpec()
         self._faults = FaultSpec()
+        self._service = ServiceSpec()
         self._seed = 0
         self._name = ""
         self._description = ""
@@ -207,6 +209,29 @@ class Scenario:
         self._faults = FaultSpec(events=self._faults.events + validated)
         return self
 
+    def service(
+        self,
+        tick_seconds: float | None = None,
+        deadline_seconds: float | None = None,
+        override_ttl_seconds: float | None = None,
+    ) -> "Scenario":
+        """Set live-service parameters (``repro serve``; batch runs ignore).
+
+        ``tick_seconds`` paces the supervisor loop, ``deadline_seconds``
+        budgets each boundary's decisions (overruns hold the previous
+        allocation), ``override_ttl_seconds`` is the default operator
+        override expiry.
+        """
+        updates: dict = {}
+        if tick_seconds is not None:
+            updates["tick_seconds"] = tick_seconds
+        if deadline_seconds is not None:
+            updates["deadline_seconds"] = deadline_seconds
+        if override_ttl_seconds is not None:
+            updates["override_ttl_seconds"] = override_ttl_seconds
+        self._service = replace(self._service, **updates)
+        return self
+
     def seed(self, seed: int) -> "Scenario":
         """Set the run's random seed."""
         if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
@@ -245,5 +270,6 @@ class Scenario:
             workload=workload,
             control=self._control,
             faults=self._faults,
+            service=self._service,
             seed=self._seed,
         )

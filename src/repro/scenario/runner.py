@@ -247,13 +247,14 @@ def build_simulation(
         # The spec-level beyond-trace guard needs the trace length, which
         # for a whole-file `trace` workload is only known here: an event
         # past the file's end would silently never fire.
-        latest = max(event[0] for event in scenario.faults.events)
-        if latest >= trace.duration:
-            raise ConfigurationError(
-                f"fault event at t={latest:.0f}s falls beyond the "
-                f"{trace.duration:.0f}s trace file {scenario.workload.path}; "
-                "use a longer file or drop the event"
-            )
+        for event in scenario.faults.events:
+            if event[0] >= trace.duration:
+                raise ConfigurationError(
+                    f"fault event {tuple(event)!r} falls beyond the "
+                    f"{trace.duration:.0f}s trace file "
+                    f"{scenario.workload.path}; use a longer file or drop "
+                    "the event"
+                )
 
     if scenario.plant.kind == "module":
         if l1_params is None:

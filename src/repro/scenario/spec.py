@@ -346,6 +346,34 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class ServiceSpec:
+    """Live-service parameters (:mod:`repro.service`, ``repro serve``).
+
+    Batch runs ignore this part entirely. ``tick_seconds`` paces the
+    supervisor loop in wall time per T_L0 step (0, the default, runs
+    free — it still yields to the event loop every step).
+    ``deadline_seconds`` budgets each control-period boundary's L2+L1
+    decisions in wall seconds; an overrun holds the previous allocation
+    and is logged (``None``, the default, disables the budget and keeps
+    the run byte-identical to batch). ``override_ttl_seconds`` is the
+    default expiry applied to operator overrides issued without an
+    explicit TTL.
+    """
+
+    tick_seconds: float = 0.0
+    deadline_seconds: float | None = None
+    override_ttl_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.tick_seconds, "service.tick_seconds")
+        if self.deadline_seconds is not None:
+            require_positive(self.deadline_seconds, "service.deadline_seconds")
+        require_positive(
+            self.override_ttl_seconds, "service.override_ttl_seconds"
+        )
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One fully-described, serialisable experiment."""
 
@@ -355,6 +383,7 @@ class ScenarioSpec:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     control: ControlSpec = field(default_factory=ControlSpec)
     faults: FaultSpec = field(default_factory=FaultSpec)
+    service: ServiceSpec = field(default_factory=ServiceSpec)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -406,14 +435,14 @@ class ScenarioSpec:
             if self.workload.resolved_samples is None:
                 return
             duration = self.workload.resolved_samples * period
-            latest = max(event[0] for event in self.faults.events)
-            if latest >= duration:
-                raise ConfigurationError(
-                    f"fault event at t={latest:.0f}s falls beyond the "
-                    f"{duration:.0f}s trace "
-                    f"({self.workload.resolved_samples} control periods); "
-                    "lengthen workload.samples or drop the event"
-                )
+            for event in self.faults.events:
+                if event[0] >= duration:
+                    raise ConfigurationError(
+                        f"fault event {tuple(event)!r} falls beyond the "
+                        f"{duration:.0f}s trace "
+                        f"({self.workload.resolved_samples} control periods); "
+                        "lengthen workload.samples or drop the event"
+                    )
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -438,6 +467,7 @@ class ScenarioSpec:
             ("plant", PlantSpec),
             ("workload", WorkloadSpec),
             ("control", ControlSpec),
+            ("service", ServiceSpec),
         ):
             if key in data and isinstance(data[key], dict):
                 try:
@@ -478,6 +508,7 @@ class ScenarioSpec:
         ("workload", WorkloadSpec),
         ("control", ControlSpec),
         ("faults", FaultSpec),
+        ("service", ServiceSpec),
     )
 
     #: Shorthand override keys and the dotted fields they resolve to.

@@ -1,0 +1,165 @@
+"""Operator-surface state: manual overrides with expiry, audit log.
+
+The shape follows the classic load-manager pattern: an operator can pin
+a module's machines-on count for a bounded time (``ttl``), every command
+and decision lands in an append-only audit log, and expiry is swept by
+the control loop rather than trusted to the operator's memory. Clocks
+are injectable so tests can drive expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass
+class Override:
+    """One manual override: pin ``module`` to ``machines_on`` computers."""
+
+    module: int
+    machines_on: int
+    ttl_seconds: float
+    set_at: float  # clock() at issue time
+    source: str = "operator"
+
+    def remaining_seconds(self, now: float) -> float:
+        """Seconds of validity left at ``now`` (<= 0 means expired)."""
+        return self.ttl_seconds - (now - self.set_at)
+
+    def is_expired(self, now: float) -> bool:
+        return self.remaining_seconds(now) <= 0.0
+
+
+class OverrideBook:
+    """The active manual overrides, one per module, with expiry.
+
+    The book only tracks intent and time; applying an override to (and
+    releasing it from) the engine is the supervisor's job, which calls
+    :meth:`sweep_expired` from the control loop.
+    """
+
+    def __init__(
+        self,
+        default_ttl_seconds: float = 3600.0,
+        clock=time.monotonic,
+    ) -> None:
+        if not default_ttl_seconds > 0:
+            raise ConfigurationError(
+                f"default_ttl_seconds must be positive, got {default_ttl_seconds!r}"
+            )
+        self.default_ttl_seconds = float(default_ttl_seconds)
+        self._clock = clock
+        self._overrides: "dict[int, Override]" = {}
+
+    def set(
+        self,
+        module: int,
+        machines_on: int,
+        ttl_seconds: "float | None" = None,
+        source: str = "operator",
+    ) -> Override:
+        """Record an override; replaces any previous one for the module."""
+        ttl = self.default_ttl_seconds if ttl_seconds is None else float(ttl_seconds)
+        if not ttl > 0:
+            raise ConfigurationError(
+                f"override ttl must be positive seconds, got {ttl_seconds!r}"
+            )
+        override = Override(
+            module=int(module),
+            machines_on=int(machines_on),
+            ttl_seconds=ttl,
+            set_at=self._clock(),
+            source=source,
+        )
+        self._overrides[override.module] = override
+        return override
+
+    def clear(self, module: int) -> bool:
+        """Drop the module's override; True when one existed."""
+        return self._overrides.pop(int(module), None) is not None
+
+    def active(self) -> "list[Override]":
+        """The non-expired overrides, by module index."""
+        now = self._clock()
+        return [
+            override
+            for module, override in sorted(self._overrides.items())
+            if not override.is_expired(now)
+        ]
+
+    def sweep_expired(self) -> "list[Override]":
+        """Remove and return every expired override (by module index)."""
+        now = self._clock()
+        expired = [
+            override
+            for module, override in sorted(self._overrides.items())
+            if override.is_expired(now)
+        ]
+        for override in expired:
+            del self._overrides[override.module]
+        return expired
+
+    def snapshot(self) -> "list[dict]":
+        """JSON-safe view of the active overrides (for status payloads)."""
+        now = self._clock()
+        return [
+            {
+                "module": override.module,
+                "machines_on": override.machines_on,
+                "ttl_seconds": override.ttl_seconds,
+                "remaining_seconds": round(override.remaining_seconds(now), 3),
+                "source": override.source,
+            }
+            for override in self.active()
+        ]
+
+
+class AuditLog:
+    """Append-only command/decision audit trail.
+
+    Every record carries a monotonically increasing ``seq``, a wall-clock
+    ``ts``, and a ``kind``; extra fields ride along verbatim. With a
+    ``path`` the log also flushes each record to disk as one JSONL line
+    immediately — a SIGTERM'd daemon leaves a complete trail behind.
+    """
+
+    def __init__(self, path: "str | None" = None, clock=time.time) -> None:
+        self.path = path
+        self._clock = clock
+        self.records: "list[dict]" = []
+        self._handle = open(path, "a") if path else None
+
+    def record(self, kind: str, **fields) -> dict:
+        """Append one record; returns it."""
+        entry = {
+            "seq": len(self.records),
+            "ts": round(float(self._clock()), 6),
+            "kind": str(kind),
+            **fields,
+        }
+        self.records.append(entry)
+        if self._handle is not None:
+            self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._handle.flush()
+        return entry
+
+    @property
+    def entries(self) -> int:
+        """Number of records so far."""
+        return len(self.records)
+
+    def tail(self, limit: int = 20) -> "list[dict]":
+        """The most recent ``limit`` records, oldest first."""
+        if limit <= 0:
+            return []
+        return self.records[-limit:]
+
+    def close(self) -> None:
+        """Close the disk handle (later records stay in memory only)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -1,0 +1,143 @@
+"""The operator control socket: line-JSON commands against a live run.
+
+One request per connection: the client sends a single JSON line and
+reads a single JSON line back. Commands mirror the ``repro ctl`` verbs::
+
+    {"cmd": "status"}
+    {"cmd": "override", "module": 0, "on": 2, "ttl": 60}
+    {"cmd": "override", "module": 0, "on": null}        # clear
+    {"cmd": "history", "limit": 20}
+    {"cmd": "stop"}
+
+Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": "..."}``;
+operator mistakes (bad module index, oversized pin) come back as errors
+on the wire, never as daemon crashes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.common.errors import ControlError, ReproError
+
+
+class ControlServer:
+    """Serve the operator surface of one supervisor over TCP."""
+
+    def __init__(
+        self, supervisor, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.supervisor = supervisor
+        self.host = host
+        self.port = port
+        self._server: "asyncio.base_events.Server | None" = None
+
+    async def start(self) -> "ControlServer":
+        """Bind and listen; resolves ``port`` when 0 was requested."""
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def _serve_client(self, reader, writer) -> None:
+        try:
+            raw = await reader.readline()
+            if raw:
+                response = self.handle_line(raw.decode())
+                writer.write(
+                    (json.dumps(response, sort_keys=True) + "\n").encode()
+                )
+                await writer.drain()
+        finally:
+            writer.close()
+
+    def handle_line(self, line: str) -> dict:
+        """Execute one command line; always returns a response dict."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            return {"ok": False, "error": f"bad command JSON: {error}"}
+        if not isinstance(payload, dict):
+            return {"ok": False, "error": "commands are JSON objects"}
+        try:
+            return self._dispatch(payload)
+        except ReproError as error:
+            return {"ok": False, "error": str(error)}
+
+    def _dispatch(self, payload: dict) -> dict:
+        supervisor = self.supervisor
+        command = payload.get("cmd")
+        if command == "status":
+            return {"ok": True, "status": supervisor.status()}
+        if command == "override":
+            if "module" not in payload:
+                return {"ok": False, "error": "override needs a 'module' field"}
+            supervisor.override(
+                payload["module"],
+                payload.get("on"),
+                ttl_seconds=payload.get("ttl"),
+                source="ctl",
+            )
+            return {"ok": True, "overrides": supervisor.overrides.snapshot()}
+        if command == "history":
+            limit = payload.get("limit", 20)
+            if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+                return {
+                    "ok": False,
+                    "error": f"history 'limit' must be a positive int, got {limit!r}",
+                }
+            return {"ok": True, "history": supervisor.audit.tail(limit)}
+        if command == "stop":
+            supervisor.request_stop()
+            return {"ok": True, "state": "stopping"}
+        return {"ok": False, "error": f"unknown command {command!r}"}
+
+    async def close(self) -> None:
+        """Stop listening; safe to call more than once."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+def send_command(
+    payload: dict,
+    host: str = "127.0.0.1",
+    port: int = 7700,
+    timeout: float = 30.0,
+) -> dict:
+    """Send one command to a running daemon and return its response.
+
+    Blocking client used by ``repro ctl``. A refused connection or an
+    ``ok: false`` response surfaces as a one-line :class:`ControlError`.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as conn:
+            conn.sendall((json.dumps(payload) + "\n").encode())
+            with conn.makefile("r") as stream:
+                line = stream.readline()
+    except OSError as error:
+        raise ControlError(
+            f"cannot reach control server at {host}:{port}: {error} "
+            "(is `repro serve` running?)"
+        ) from None
+    if not line:
+        raise ControlError(
+            f"control server at {host}:{port} closed the connection "
+            "without replying"
+        )
+    try:
+        response = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ControlError(f"bad control response {line!r}: {error}") from None
+    if not isinstance(response, dict) or not response.get("ok"):
+        error = (
+            response.get("error", "unknown error")
+            if isinstance(response, dict)
+            else repr(response)
+        )
+        raise ControlError(f"control command failed: {error}")
+    return response

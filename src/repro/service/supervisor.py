@@ -1,0 +1,263 @@
+"""The autonomic control loop: online forecasts, deadline-budgeted decisions.
+
+:class:`AutonomicSupervisor` owns one live run: it binds its observer to
+the plant's engine, drives the plant step by step on the asyncio loop,
+keeps a service-level Kalman forecast updated per control period, and
+carries the operator surface (overrides with expiry, status snapshots,
+the audit log).
+
+Deadline behaviour is delegated to the engine's seams
+(:meth:`~repro.sim.engine.ClusterSimulation.set_decision_deadline`): a
+decision that overruns its budget is *discarded* — the previous
+allocation holds, the emitted event carries ``held=True``, and the
+Kalman observe has already run, so the next period starts resynced. The
+supervisor's observer turns those events into audit records, so a miss
+is visible to ``repro ctl history`` the moment it happens.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.common.errors import ControlError
+from repro.common.schema import (
+    l1_decision_record,
+    l2_decision_record,
+    status_payload,
+)
+from repro.forecast.structural import WorkloadPredictor
+from repro.service.manager import AuditLog, OverrideBook
+from repro.sim.observers import SimulationObserver
+
+
+class _SupervisorObserver(SimulationObserver):
+    """Projects engine events into the supervisor's live state."""
+
+    def __init__(self, supervisor: "AutonomicSupervisor") -> None:
+        self.supervisor = supervisor
+
+    def on_l1_decision(self, event) -> None:
+        record = l1_decision_record(event)
+        supervisor = self.supervisor
+        supervisor.decision_records.append(record)
+        supervisor.allocations[record["module"]] = record
+        if record["held"]:
+            supervisor.deadline_misses += 1
+            supervisor.audit.record(
+                "deadline-miss",
+                level="l1",
+                period=record["period"],
+                module=record["module"],
+            )
+
+    def on_l2_decision(self, event) -> None:
+        record = l2_decision_record(event)
+        supervisor = self.supervisor
+        supervisor.decision_records.append(record)
+        supervisor.last_l2 = record
+        if record["held"]:
+            supervisor.deadline_misses += 1
+            supervisor.audit.record(
+                "deadline-miss", level="l2", period=record["period"]
+            )
+
+    def on_period_end(self, event) -> None:
+        self.supervisor._on_period_end(event)
+
+
+class AutonomicSupervisor:
+    """Run one plant's controller hierarchy as a live service."""
+
+    def __init__(
+        self,
+        scenario,
+        plant,
+        audit_log: "AuditLog | None" = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.scenario = scenario
+        self.plant = plant
+        self.service = scenario.service
+        self.audit = audit_log if audit_log is not None else AuditLog()
+        self.overrides = OverrideBook(
+            default_ttl_seconds=self.service.override_ttl_seconds, clock=clock
+        )
+        #: Service-level forecast of next-period arrivals (status only;
+        #: the in-engine controllers run their own filters).
+        self.predictor = WorkloadPredictor()
+        self.next_forecast = 0.0
+        self.decision_records: "list[dict]" = []
+        self.allocations: "dict[int, dict]" = {}
+        self.last_l2: "dict | None" = None
+        self.deadline_misses = 0
+        self.state = "idle"
+        self._stop = asyncio.Event()
+        self._result = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, observers=()) -> "AutonomicSupervisor":
+        """Bind observers, apply the deadline budget, reset the run."""
+        simulation = self.plant.simulation
+        simulation.set_decision_deadline(self.service.deadline_seconds)
+        self.plant.bind((_SupervisorObserver(self), *observers))
+        self.state = "running"
+        self.audit.record(
+            "started",
+            scenario=self.scenario.name,
+            total_steps=self.plant.total_steps,
+            deadline_seconds=self.service.deadline_seconds,
+            tick_seconds=self.service.tick_seconds,
+        )
+        return self
+
+    def request_stop(self) -> None:
+        """Ask the run loop to stop at the next step (signal-handler safe)."""
+        self._stop.set()
+
+    @property
+    def result(self):
+        """The finished run's structured result (None until finished)."""
+        return self._result
+
+    async def run(self):
+        """Drive the plant until the horizon completes or stop is requested.
+
+        Returns the structured run result when the horizon completed,
+        ``None`` when stopped early. A stop request interrupts even a
+        plant blocked on its feed — the wait races the step against the
+        stop event.
+        """
+        if self.state == "idle":
+            self.start()
+        tick = self.service.tick_seconds
+        while not self._stop.is_set() and not self.plant.finished:
+            advance = asyncio.ensure_future(self.plant.advance())
+            stop_wait = asyncio.ensure_future(self._stop.wait())
+            done, _ = await asyncio.wait(
+                {advance, stop_wait}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if advance in done:
+                stop_wait.cancel()
+                event = advance.result()  # re-raises plant errors
+                if event is None:
+                    break  # feed ended short of the horizon
+                # Yield every step so the control server stays live even
+                # at tick 0 (free-running).
+                await asyncio.sleep(tick if tick > 0 else 0)
+            else:
+                advance.cancel()
+                try:
+                    await advance
+                except asyncio.CancelledError:
+                    pass
+                break
+        if self.plant.finished:
+            self._result = self.plant.finish()
+            self.state = "finished"
+            self.audit.record("finished", steps=self.plant.steps_taken)
+            return self._result
+        self.state = "stopped"
+        self.audit.record("stopped", steps=self.plant.steps_taken)
+        return None
+
+    # ------------------------------------------------------------------
+    # Operator surface
+    # ------------------------------------------------------------------
+
+    def override(
+        self,
+        module: int,
+        machines_on: "int | None",
+        ttl_seconds: "float | None" = None,
+        source: str = "operator",
+    ):
+        """Pin (or with ``machines_on=None`` release) a module's allocation.
+
+        Validated eagerly against the engine (module index and size);
+        takes effect at the next control-period boundary and expires
+        after ``ttl_seconds`` (the scenario's default TTL when omitted).
+        """
+        self.plant.simulation.set_module_override(module, machines_on)
+        if machines_on is None:
+            existed = self.overrides.clear(module)
+            self.audit.record(
+                "override-cleared",
+                module=int(module),
+                existed=existed,
+                source=source,
+            )
+            return None
+        override = self.overrides.set(
+            module, machines_on, ttl_seconds=ttl_seconds, source=source
+        )
+        self.audit.record(
+            "override-set",
+            module=override.module,
+            machines_on=override.machines_on,
+            ttl_seconds=override.ttl_seconds,
+            source=source,
+        )
+        return override
+
+    def _expire_overrides(self) -> None:
+        for override in self.overrides.sweep_expired():
+            self.plant.simulation.set_module_override(override.module, None)
+            self.audit.record(
+                "override-expired",
+                module=override.module,
+                machines_on=override.machines_on,
+                ttl_seconds=override.ttl_seconds,
+            )
+
+    def _on_period_end(self, event) -> None:
+        self.next_forecast = self.predictor.update(event.arrivals)
+        self._expire_overrides()
+
+    def status(self) -> dict:
+        """The operator's status snapshot (see :func:`status_payload`)."""
+        if self.state == "idle":
+            raise ControlError("supervisor not started; no status to report")
+        simulation = self.plant.simulation
+        forecasts = {
+            "next_period_arrivals": float(self.next_forecast),
+            "last_l2_prediction": (
+                None if self.last_l2 is None else self.last_l2["prediction"]
+            ),
+            "last_l1_predictions": {
+                str(module): record["prediction"]
+                for module, record in sorted(self.allocations.items())
+            },
+        }
+        return status_payload(
+            scenario=self.scenario.name,
+            state=self.state,
+            step=self.plant.steps_taken,
+            total_steps=self.plant.total_steps,
+            period=self.plant.steps_taken // simulation.substeps,
+            summary=(
+                self._result.summary()
+                if self._result is not None
+                else simulation.live_summary()
+            ),
+            allocations=[
+                self.allocations[module]
+                for module in sorted(self.allocations)
+            ],
+            forecasts=forecasts,
+            overrides=self.overrides.snapshot(),
+            deadline={
+                "seconds": self.service.deadline_seconds,
+                "misses": self.deadline_misses,
+            },
+            audit_entries=self.audit.entries,
+        )
+
+    def decision_lines(self) -> "list[str]":
+        """The decision stream as deterministic JSONL lines."""
+        from repro.common.schema import decision_line
+
+        return [decision_line(record) for record in self.decision_records]

@@ -34,6 +34,7 @@ bit-identical events and results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
@@ -64,7 +65,7 @@ from repro.sim.observers import (
     SimulationObserver,
     StepEvent,
 )
-from repro.sim.results import ClusterRunResult, ModuleRunResult
+from repro.sim.results import ClusterRunResult, ModuleRunResult, RunSummary
 from repro.sim.shard import (
     EXECUTION_MODES,
     ModuleBoundaryInput,
@@ -72,6 +73,7 @@ from repro.sim.shard import (
     ModuleShardRunner,
     ModuleStepInput,
     ShardWorkerPool,
+    forced_configuration,
 )
 from repro.workload.trace import ArrivalTrace
 
@@ -147,12 +149,60 @@ class ModuleSimulation:
         if work_series.size != len(self.trace):
             raise ConfigurationError("work_series must align with the trace bins")
         self.work_series = work_series
+        #: Live-service seams (batch runs leave both at their defaults,
+        #: which skips every related branch and clock read).
+        self.decision_deadline: "float | None" = None
+        self.module_overrides: "dict[int, int]" = {}
         self._state: "_ModuleRunState | None" = None
 
     @property
     def module_controller(self):
         """The active module-level controller (L1 or baseline)."""
         return self.baseline if self.baseline is not None else self.l1
+
+    @property
+    def steps_taken(self) -> int:
+        """T_L0 steps taken in the current run (0 before/without one)."""
+        return 0 if self._state is None else self._state.k
+
+    def set_decision_deadline(self, seconds: "float | None") -> None:
+        """Budget each boundary decision to ``seconds`` of wall time.
+
+        A decision that overruns is discarded: the previous alpha/gamma
+        stay in force and the emitted :class:`L1DecisionEvent` carries
+        ``held=True``. ``None`` (the default) disables the budget.
+        """
+        if seconds is not None and not seconds > 0:
+            raise ConfigurationError(
+                f"decision deadline must be positive or None, got {seconds!r}"
+            )
+        self.decision_deadline = None if seconds is None else float(seconds)
+
+    def set_module_override(self, module: int, on: "int | None") -> None:
+        """Pin (or with ``on=None`` release) the module's machines-on count.
+
+        Takes effect at the next control-period boundary: the first
+        ``on`` available machines serve with an equal gamma split, and
+        the boundary's event carries ``forced=True``. Module plants have
+        exactly one module, index 0.
+        """
+        if module != 0:
+            raise ConfigurationError(
+                f"module plants have a single module (index 0), got {module}"
+            )
+        if on is None:
+            self.module_overrides.pop(module, None)
+            return
+        if not isinstance(on, int) or isinstance(on, bool) or on < 1:
+            raise ConfigurationError(
+                f"override machines-on count must be a positive int, got {on!r}"
+            )
+        if on > self.spec.size:
+            raise ConfigurationError(
+                f"override asks for {on} machines but the module has "
+                f"only {self.spec.size}"
+            )
+        self.module_overrides[module] = on
 
     @property
     def total_steps(self) -> int:
@@ -249,20 +299,39 @@ class ModuleSimulation:
                 controller.observe(state.interval_arrivals, work)
             prediction = float(controller.predictor.forecast(1)[0])
             state.interval_arrivals = 0.0
+            # Compute the decision first, apply it only if it met its
+            # deadline budget: an overrun holds the previous allocation
+            # (the plant never sees the abandoned decision), while the
+            # observe above has already resynced the forecasts.
+            deadline = self.decision_deadline
+            started = time.monotonic() if deadline is not None else None
             if self.baseline is None:
                 decision = controller.act(
                     plant.queue_lengths, state.alpha, available=plant.available_mask
                 )
             else:
                 decision = controller.act(plant.queue_lengths, state.alpha)
-            state.alpha = decision.alpha.astype(bool)
-            state.gamma = decision.gamma
+            held = (
+                deadline is not None
+                and time.monotonic() - started > deadline
+            )
+            if not held:
+                state.alpha = decision.alpha.astype(bool)
+                state.gamma = decision.gamma
             plant.apply_configuration(state.alpha)
-            if self.baseline is not None:
+            if self.baseline is not None and not held:
                 for computer, freq in zip(
                     plant.computers, decision.frequency_indices
                 ):
                     computer.set_frequency_index(int(freq))
+            forced = False
+            force_on = self.module_overrides.get(0)
+            if force_on is not None:
+                state.alpha, state.gamma = forced_configuration(
+                    plant.available_mask, force_on, state.alpha, state.gamma
+                )
+                plant.apply_configuration(state.alpha)
+                forced = True
             state.sink.on_l1_decision(
                 L1DecisionEvent(
                     period=index,
@@ -270,6 +339,8 @@ class ModuleSimulation:
                     alpha=state.alpha.copy(),
                     gamma=state.gamma.copy(),
                     prediction=prediction,
+                    held=held,
+                    forced=forced,
                 )
             )
 
@@ -381,6 +452,40 @@ class ModuleSimulation:
         state.result = result
         state.sink.on_run_end(result)
         return result
+
+    def live_summary(self) -> RunSummary:
+        """Headline metrics over the steps taken so far (mid-run safe).
+
+        Uses the same online :class:`StreamStats` aggregates and the same
+        arithmetic as :meth:`finish`/:meth:`~repro.sim.results.ModuleRunResult.summary`,
+        so at end of run the two agree bit for bit.
+        """
+        if self._state is None:
+            raise ControlError("no active run; call reset() first")
+        state = self._state
+        plant = state.plant
+        stream = state.recorder.stream
+        on_count, off_count = plant.switch_counts()
+        l0_stats = ControllerStats()
+        for l0 in self.l0s:
+            l0_stats = l0_stats.merged_with(l0.stats)
+        l1_stats = self.module_controller.stats
+        energy_base = sum(c.energy.base_energy for c in plant.computers)
+        energy_dynamic = sum(c.energy.dynamic_energy for c in plant.computers)
+        energy_transient = sum(c.energy.transient_energy for c in plant.computers)
+        return RunSummary(
+            mean_response=stream.mean_response,
+            violation_fraction=stream.violation_fraction,
+            total_energy=energy_base + energy_dynamic + energy_transient,
+            base_energy=energy_base,
+            dynamic_energy=energy_dynamic,
+            transient_energy=energy_transient,
+            switch_ons=on_count,
+            switch_offs=off_count,
+            mean_computers_on=stream.mean_computers_on,
+            controller_seconds=l0_stats.total_seconds + l1_stats.total_seconds,
+            l1_mean_states=l1_stats.mean_states,
+        )
 
     def run(
         self, observers: "Iterable[SimulationObserver]" = ()
@@ -521,6 +626,10 @@ class ClusterSimulation:
         self.baselines: "list[_BaselineBase] | None" = None
         self._behavior_maps: list[list[ComputerBehaviorMap]] = []
         self.module_maps: list[ModuleCostMap] = []
+        #: Live-service seams (batch runs leave both at their defaults,
+        #: which skips every related branch and clock read).
+        self.decision_deadline: "float | None" = None
+        self.module_overrides: "dict[int, int]" = {}
         self._state: "_ClusterRunState | None" = None
         if baseline is not None:
             if callable(baseline):
@@ -588,6 +697,56 @@ class ClusterSimulation:
         """True once every step of the current run has been taken."""
         state = getattr(self, "_state", None)
         return state is not None and state.k >= self.total_steps
+
+    @property
+    def steps_taken(self) -> int:
+        """T_L0 steps taken in the current run (0 before/without one)."""
+        state = getattr(self, "_state", None)
+        return 0 if state is None else state.k
+
+    def set_decision_deadline(self, seconds: "float | None") -> None:
+        """Budget each boundary's L2+L1 decisions to ``seconds`` of wall time.
+
+        The budget is shared down the hierarchy: an overrunning L2
+        decision holds every module too (its event and theirs carry
+        ``held=True``); an L1 that individually blows the remaining
+        budget holds just its module. ``None`` (the default) disables
+        the budget and skips every clock read.
+        """
+        if seconds is not None and not seconds > 0:
+            raise ConfigurationError(
+                f"decision deadline must be positive or None, got {seconds!r}"
+            )
+        self.decision_deadline = None if seconds is None else float(seconds)
+
+    def set_module_override(self, module: int, on: "int | None") -> None:
+        """Pin (or with ``on=None`` release) one module's machines-on count.
+
+        Takes effect at the next control-period boundary: the module's
+        first ``on`` available machines serve with an equal gamma split,
+        and its boundary event carries ``forced=True``.
+        """
+        if not isinstance(module, int) or isinstance(module, bool) or not (
+            0 <= module < self.spec.module_count
+        ):
+            raise ConfigurationError(
+                f"override module index must be in [0, {self.spec.module_count}), "
+                f"got {module!r}"
+            )
+        if on is None:
+            self.module_overrides.pop(module, None)
+            return
+        if not isinstance(on, int) or isinstance(on, bool) or on < 1:
+            raise ConfigurationError(
+                f"override machines-on count must be a positive int, got {on!r}"
+            )
+        size = self.spec.modules[module].size
+        if on > size:
+            raise ConfigurationError(
+                f"override asks for {on} machines but module {module} has "
+                f"only {size}"
+            )
+        self.module_overrides[module] = on
 
     # ------------------------------------------------------------------
     # Stepwise protocol
@@ -775,6 +934,15 @@ class ClusterSimulation:
             boundary_work = None
         p = self.spec.module_count
         observed = state.interval_module.copy() if k > 0 else None
+        # The deadline budget is shared by the whole boundary: one
+        # absolute wall-clock instant the L2 decision and every module's
+        # L1 decision must beat. ``None`` (batch runs) skips every clock
+        # read, keeping the operation sequence byte-identical.
+        deadline_at = (
+            time.monotonic() + self.decision_deadline
+            if self.decision_deadline is not None
+            else None
+        )
         if self.baselines is not None:
             if k > 0:
                 self._global_predictor.observe(state.interval_global)
@@ -794,6 +962,8 @@ class ClusterSimulation:
                         None if observed is None else float(observed[i])
                     ),
                     work=boundary_work,
+                    deadline_at=deadline_at,
+                    force_on=self.module_overrides.get(i),
                 )
                 for i in range(p)
             ]
@@ -807,11 +977,14 @@ class ClusterSimulation:
             [queue_lengths.mean() for queue_lengths in state.module_queue_lengths()]
         )
         l2_decision = self.l2.act(queue_avgs, state.gamma_modules)
-        state.gamma_modules = l2_decision.gamma
+        l2_held = deadline_at is not None and time.monotonic() > deadline_at
+        if not l2_held:
+            state.gamma_modules = l2_decision.gamma
         l2_event = L2DecisionEvent(
             period=index,
             gamma=state.gamma_modules.copy(),
             prediction=global_prediction,
+            held=l2_held,
         )
         # Each module's load estimate is its share of the global
         # forecast (the paper's lambda_hat_i = gamma_i * lambda_hat_g),
@@ -844,6 +1017,9 @@ class ClusterSimulation:
                     delta=delta,
                     prediction=state.gamma_modules[i] * global_counts[0],
                     work=boundary_work,
+                    deadline_at=deadline_at,
+                    hold=l2_held,
+                    force_on=self.module_overrides.get(i),
                 )
             )
         return l2_event, boundaries
@@ -962,6 +1138,70 @@ class ClusterSimulation:
         state.result = result
         state.sink.on_run_end(result)
         return result
+
+    def live_summary(self) -> RunSummary:
+        """Cluster-wide headline metrics over the steps taken so far.
+
+        Serial backend only: sharded module state lives in the worker
+        processes, where mid-run aggregates are not reachable. Uses the
+        same online :class:`StreamStats` aggregates, the same
+        per-module finalization, and the same merge arithmetic as
+        :meth:`finish`/:meth:`~repro.sim.results.ClusterRunResult.summary`,
+        so at end of run the two agree bit for bit.
+        """
+        state = getattr(self, "_state", None)
+        if state is None:
+            raise ControlError("no active run; call reset() first")
+        if state.runners is None:
+            raise ControlError(
+                "live_summary requires execution='serial': sharded module "
+                "state lives in the worker processes"
+            )
+        streams = [recorder.stream for recorder in state.module_recorders]
+        total_count = sum(s.response_count for s in streams)
+        mean_response = (
+            sum(s.response_sum for s in streams) / total_count
+            if total_count
+            else 0.0
+        )
+        violations = (
+            sum(s.violation_count for s in streams) / total_count
+            if total_count
+            else 0.0
+        )
+        periods = max(s.decision_count for s in streams)
+        mean_on = (
+            sum(s.computers_on_sum for s in streams) / periods
+            if periods
+            else 0.0
+        )
+        finals = [runner.finalize() for runner in state.runners]
+        l0 = ControllerStats()
+        l1 = ControllerStats()
+        for final in finals:
+            l0 = l0.merged_with(final.l0_stats)
+            l1 = l1.merged_with(final.l1_stats)
+        l2_seconds = (
+            self.l2.stats.total_seconds if self.l2 is not None else 0.0
+        )
+        return RunSummary(
+            mean_response=mean_response,
+            violation_fraction=violations,
+            total_energy=sum(
+                f.energy_base + f.energy_dynamic + f.energy_transient
+                for f in finals
+            ),
+            base_energy=sum(f.energy_base for f in finals),
+            dynamic_energy=sum(f.energy_dynamic for f in finals),
+            transient_energy=sum(f.energy_transient for f in finals),
+            switch_ons=sum(f.switch_ons for f in finals),
+            switch_offs=sum(f.switch_offs for f in finals),
+            mean_computers_on=mean_on,
+            controller_seconds=(
+                l0.total_seconds + l1.total_seconds + l2_seconds
+            ),
+            l1_mean_states=l1.mean_states,
+        )
 
     def run(
         self, observers: "Iterable[SimulationObserver]" = ()

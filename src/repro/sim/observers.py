@@ -60,22 +60,35 @@ class StepEvent:
 
 @dataclass(frozen=True)
 class L1DecisionEvent:
-    """A module-level (L1 or baseline) reconfiguration."""
+    """A module-level (L1 or baseline) reconfiguration.
+
+    ``held`` marks a decision that missed its deadline budget: the
+    previous alpha/gamma stayed in force (the event carries them).
+    ``forced`` marks a manual operator override pinning the machines-on
+    count. Batch runs never set either.
+    """
 
     period: int
     module: int
     alpha: np.ndarray
     gamma: np.ndarray
     prediction: float  # forecast arrivals for the coming period
+    held: bool = False
+    forced: bool = False
 
 
 @dataclass(frozen=True)
 class L2DecisionEvent:
-    """A cluster-level workload re-division."""
+    """A cluster-level workload re-division.
+
+    ``held`` marks a decision that missed its deadline budget: the
+    previous per-module gamma split stayed in force.
+    """
 
     period: int
     gamma: np.ndarray  # per-module load shares
     prediction: float  # forecast global arrivals for the coming period
+    held: bool = False
 
 
 @dataclass(frozen=True)
@@ -392,6 +405,35 @@ class ProgressObserver(SimulationObserver):
                 f"{event.arrivals:.0f} arrivals in the last period",
                 file=stream,
             )
+
+
+class DecisionRecorder(SimulationObserver):
+    """Collects every control decision as a deterministic plain record.
+
+    Records are built by :mod:`repro.common.schema` (the single place
+    the record shape lives), in the engine's emission order, so two runs
+    that make identical decisions produce identical record lists — the
+    artifact behind the batch-vs-live-service ``cmp`` gates.
+    """
+
+    def __init__(self) -> None:
+        self.records: "list[dict]" = []
+
+    def on_l1_decision(self, event: L1DecisionEvent) -> None:
+        from repro.common.schema import l1_decision_record
+
+        self.records.append(l1_decision_record(event))
+
+    def on_l2_decision(self, event: L2DecisionEvent) -> None:
+        from repro.common.schema import l2_decision_record
+
+        self.records.append(l2_decision_record(event))
+
+    def lines(self) -> "list[str]":
+        """One sorted-key JSON line per decision (JSONL-ready)."""
+        from repro.common.schema import decision_line
+
+        return [decision_line(record) for record in self.records]
 
 
 class HookCounter(SimulationObserver):

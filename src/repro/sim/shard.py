@@ -33,6 +33,7 @@ involved, so they too are identical across backends.
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
 from dataclasses import dataclass
 
@@ -76,6 +77,15 @@ class ModuleBoundaryInput:
     the L2 forecast; baseline modules ignore them and forecast locally.
     ``work`` is the parent's mean service demand at the boundary step
     (``None`` means the runner's constant ``mean_work``).
+
+    The last three fields are the live-service seams and default to the
+    batch behaviour: ``deadline_at`` is an absolute ``time.monotonic()``
+    deadline for this boundary's decision (``None`` disables the check
+    and skips every clock read, keeping batch runs byte-identical);
+    ``hold`` pre-holds the decision (the parent's L2 already missed the
+    shared deadline, so the L1 keeps its allocation too and only
+    resyncs its filters); ``force_on`` pins the module to its first
+    so-many available machines (a manual operator override).
     """
 
     period: int
@@ -86,6 +96,9 @@ class ModuleBoundaryInput:
     delta: float = 0.0
     prediction: float = 0.0
     work: "float | None" = None
+    deadline_at: "float | None" = None
+    hold: bool = False
+    force_on: "int | None" = None
 
 
 @dataclass(frozen=True)
@@ -137,6 +150,29 @@ class ModuleFinalization:
     switch_offs: int
     l0_stats: ControllerStats
     l1_stats: ControllerStats
+
+
+def forced_configuration(
+    available_mask: np.ndarray,
+    force_on: int,
+    alpha: np.ndarray,
+    gamma: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The deterministic configuration a manual override pins.
+
+    The first ``force_on`` available machines serve with an equal gamma
+    split (clamped to [1, available count]); with nothing available the
+    current configuration is kept — an override can never be allowed to
+    wedge a module into serving with zero machines.
+    """
+    indices = np.flatnonzero(available_mask)
+    if indices.size == 0:
+        return alpha, gamma
+    count = max(1, min(int(force_on), int(indices.size)))
+    forced_alpha = np.zeros(alpha.size, dtype=bool)
+    forced_alpha[indices[:count]] = True
+    forced_gamma = forced_alpha.astype(float) / count
+    return forced_alpha, forced_gamma
 
 
 # ----------------------------------------------------------------------
@@ -216,41 +252,79 @@ class ModuleShardRunner:
     # -- the three intra-period calls -----------------------------------
 
     def begin_period(self, boundary: ModuleBoundaryInput) -> L1DecisionEvent:
-        """Observe the closed interval, re-decide alpha/gamma, reconfigure."""
+        """Observe the closed interval, re-decide alpha/gamma, reconfigure.
+
+        The decision is *computed first and applied after* the deadline
+        check: a decision that missed its budget (or a ``hold`` the
+        parent already declared) is discarded and the previous
+        alpha/gamma stay in force — the plant never sees a transient
+        from an abandoned decision. The Kalman ``observe`` always runs,
+        so a held period still resyncs the forecasts. With no deadline
+        and no override the operation sequence is exactly the original
+        batch sequence.
+        """
         self._apply_faults(boundary.now)
         work = boundary.work if boundary.work is not None else self.mean_work
         if boundary.observed_arrivals is not None:
             self.controller.observe(boundary.observed_arrivals, work)
+        held = boundary.hold
         if self.is_baseline:
-            decision = self.controller.act(self.plant.queue_lengths, self.alpha)
-            self.alpha = decision.alpha.astype(bool)
-            self.gamma = decision.gamma
-            self.plant.apply_configuration(self.alpha)
-            for computer, freq in zip(
-                self.plant.computers, decision.frequency_indices
-            ):
-                computer.set_frequency_index(int(freq))
+            if not held:
+                decision = self.controller.act(
+                    self.plant.queue_lengths, self.alpha
+                )
+                if (
+                    boundary.deadline_at is not None
+                    and time.monotonic() > boundary.deadline_at
+                ):
+                    held = True
+            if not held:
+                self.alpha = decision.alpha.astype(bool)
+                self.gamma = decision.gamma
+                self.plant.apply_configuration(self.alpha)
+                for computer, freq in zip(
+                    self.plant.computers, decision.frequency_indices
+                ):
+                    computer.set_frequency_index(int(freq))
+            else:
+                self.plant.apply_configuration(self.alpha)
             prediction = float(self.controller.predictor.forecast(1)[0])
         else:
-            decision = self.controller.decide(
-                self.plant.queue_lengths,
-                self.alpha,
-                rate_hat=boundary.rate_hat,
-                rate_next=boundary.rate_next,
-                delta=boundary.delta,
-                work=self.controller.work_estimate,
-                available=self.plant.available_mask,
-            )
-            self.alpha = decision.alpha.astype(bool)
-            self.gamma = decision.gamma
+            if not held:
+                decision = self.controller.decide(
+                    self.plant.queue_lengths,
+                    self.alpha,
+                    rate_hat=boundary.rate_hat,
+                    rate_next=boundary.rate_next,
+                    delta=boundary.delta,
+                    work=self.controller.work_estimate,
+                    available=self.plant.available_mask,
+                )
+                if (
+                    boundary.deadline_at is not None
+                    and time.monotonic() > boundary.deadline_at
+                ):
+                    held = True
+            if not held:
+                self.alpha = decision.alpha.astype(bool)
+                self.gamma = decision.gamma
             self.plant.apply_configuration(self.alpha)
             prediction = boundary.prediction
+        forced = False
+        if boundary.force_on is not None:
+            self.alpha, self.gamma = forced_configuration(
+                self.plant.available_mask, boundary.force_on, self.alpha, self.gamma
+            )
+            self.plant.apply_configuration(self.alpha)
+            forced = True
         return L1DecisionEvent(
             period=boundary.period,
             module=self.module_index,
             alpha=self.alpha.copy(),
             gamma=self.gamma.copy(),
             prediction=prediction,
+            held=held,
+            forced=forced,
         )
 
     def step(self, inp: ModuleStepInput) -> StepEvent:
@@ -375,13 +449,31 @@ class ShardWorkerPool:
     for more workers than modules degrades to one module per worker.
     Workers hold their runners for the whole run; each request ships
     only the per-period inputs, not the module state.
+
+    ``request_timeout`` bounds every wait on a worker reply (seconds);
+    an unanswered request is polled once more for the same span — one
+    retry — and then surfaces as a one-line :class:`ControlError`
+    instead of a silent hang. ``None`` disables the bound.
     """
 
+    #: Default per-request reply timeout (seconds). Generous: a single
+    #: control period per module is milliseconds of work, so a worker
+    #: quiet for minutes is hung, not slow.
+    DEFAULT_REQUEST_TIMEOUT = 300.0
+
     def __init__(
-        self, runners: "list[ModuleShardRunner]", shard_workers: "int | None"
+        self,
+        runners: "list[ModuleShardRunner]",
+        shard_workers: "int | None",
+        request_timeout: "float | None" = DEFAULT_REQUEST_TIMEOUT,
     ) -> None:
         if not runners:
             raise ConfigurationError("shard pool needs at least one module runner")
+        if request_timeout is not None and not request_timeout > 0:
+            raise ConfigurationError(
+                f"request_timeout must be positive or None, got {request_timeout!r}"
+            )
+        self.request_timeout = request_timeout
         self.module_count = len(runners)
         self.workers = resolve_shard_workers(shard_workers, self.module_count)
         self._assignment = {
@@ -415,8 +507,19 @@ class ShardWorkerPool:
             raise
 
     def _receive(self, worker: int):
+        connection = self._connections[worker]
+        timeout = self.request_timeout
+        if timeout is not None and not connection.poll(timeout):
+            # One retry: a loaded machine gets a second full window
+            # before the worker is declared hung.
+            if not connection.poll(timeout):
+                raise ControlError(
+                    f"shard worker {worker} sent no reply within "
+                    f"{timeout:.0f}s (retried once); treating the worker "
+                    "as hung — rerun with execution='serial' to bisect"
+                )
         try:
-            status, payload = self._connections[worker].recv()
+            status, payload = connection.recv()
         except (EOFError, ConnectionResetError, BrokenPipeError):
             raise ControlError(
                 f"shard worker {worker} exited unexpectedly. If this "

@@ -267,12 +267,59 @@ class TestScenarioSpecValidation:
         # at full length it still builds
         assert get_scenario("module-failover").faults
 
+    def test_fault_beyond_trace_names_the_offending_tuple(self):
+        """The error must point at the exact event, not the whole spec."""
+        from repro.scenario import get_scenario
+
+        with pytest.raises(
+            ConfigurationError,
+            match=r"fault event \(3600\.0, .*lengthen workload\.samples",
+        ):
+            get_scenario("module-failover", samples=12)
+
     def test_faults_incompatible_with_cluster(self):
         with pytest.raises(ConfigurationError):
             ScenarioSpec(
                 plant=PlantSpec(kind="cluster"),
                 faults=FaultSpec(events=((0.0, 0, "fail"),)),
             )
+
+
+class TestServiceSpec:
+    def test_defaults(self):
+        from repro.scenario import ServiceSpec
+
+        service = ServiceSpec()
+        assert service.tick_seconds == 0.0
+        assert service.deadline_seconds is None
+        assert service.override_ttl_seconds == 3600.0
+        assert ScenarioSpec().service == service
+
+    def test_validation(self):
+        from repro.scenario import ServiceSpec
+
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(tick_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(deadline_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(override_ttl_seconds=0.0)
+
+    def test_round_trips_through_dict(self):
+        from repro.scenario import ServiceSpec
+
+        spec = ScenarioSpec(
+            service=ServiceSpec(tick_seconds=0.5, deadline_seconds=0.2)
+        )
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone.service == spec.service
+
+    def test_dotted_overrides(self):
+        spec = ScenarioSpec().with_overrides(
+            **{"service.deadline_seconds": 0.25, "service.tick_seconds": 1.0}
+        )
+        assert spec.service.deadline_seconds == 0.25
+        assert spec.service.tick_seconds == 1.0
 
 
 class TestSerialisation:

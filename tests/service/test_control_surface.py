@@ -1,0 +1,130 @@
+"""The operator control surface, end to end over a real socket."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.common.errors import ControlError
+from repro.scenario import build_simulation, get_scenario
+from repro.service import (
+    AutonomicSupervisor,
+    ControlServer,
+    SimulatedPlant,
+    send_command,
+)
+
+
+def serve_and(commands):
+    """Run a live supervisor + control server; execute ``commands`` against it.
+
+    ``commands`` is a sync callable receiving (host, port); it runs in a
+    worker thread while the supervisor loop serves, exactly like a
+    ``repro ctl`` process against ``repro serve``.
+    """
+    scenario = get_scenario("paper/fig4-module4", samples=40).with_overrides(
+        **{"service.tick_seconds": 0.01}
+    )
+    plant = SimulatedPlant(build_simulation(scenario))
+    supervisor = AutonomicSupervisor(scenario, plant)
+
+    async def run():
+        supervisor.start()
+        server = await ControlServer(supervisor, port=0).start()
+        runner = asyncio.ensure_future(supervisor.run())
+        try:
+            outcome = await asyncio.get_running_loop().run_in_executor(
+                None, commands, server.host, server.port
+            )
+        finally:
+            supervisor.request_stop()
+            await asyncio.wait_for(runner, timeout=30.0)
+            await server.close()
+        return outcome
+
+    return supervisor, asyncio.run(run())
+
+
+class TestControlSurface:
+    def test_status_override_history_round_trip(self):
+        def commands(host, port):
+            status = send_command({"cmd": "status"}, host=host, port=port)
+            override = send_command(
+                {"cmd": "override", "module": 0, "on": 2, "ttl": 60},
+                host=host,
+                port=port,
+            )
+            history = send_command(
+                {"cmd": "history", "limit": 50}, host=host, port=port
+            )
+            return status, override, history
+
+        supervisor, (status, override, history) = serve_and(commands)
+        snapshot = status["status"]
+        assert snapshot["schema"] == 1
+        assert snapshot["state"] == "running"
+        json.dumps(snapshot)  # the whole payload must be JSON-safe
+        [entry] = override["overrides"]
+        assert entry["module"] == 0 and entry["machines_on"] == 2
+        assert entry["source"] == "ctl"
+        kinds = [record["kind"] for record in history["history"]]
+        assert kinds[0] == "started"
+        assert "override-set" in kinds
+
+    def test_operator_mistakes_come_back_as_errors(self):
+        def commands(host, port):
+            errors = []
+            for payload in (
+                {"cmd": "override"},  # missing module
+                {"cmd": "override", "module": 7, "on": 2},  # no such module
+                {"cmd": "history", "limit": 0},
+                {"cmd": "nonsense"},
+            ):
+                with pytest.raises(ControlError):
+                    send_command(payload, host=host, port=port)
+                errors.append(payload["cmd"])
+            # The daemon survived all of it.
+            return send_command({"cmd": "status"}, host=host, port=port)
+
+        supervisor, status = serve_and(commands)
+        assert status["status"]["state"] in ("running", "finished")
+
+    def test_stop_command_stops_the_run(self):
+        def commands(host, port):
+            return send_command({"cmd": "stop"}, host=host, port=port)
+
+        supervisor, response = serve_and(commands)
+        assert response["state"] == "stopping"
+        assert supervisor.state in ("stopped", "finished")
+
+    def test_send_command_reports_unreachable_server(self):
+        with pytest.raises(ControlError, match="cannot reach control server"):
+            send_command({"cmd": "status"}, host="127.0.0.1", port=1)
+
+
+class TestHandleLine:
+    """The dispatch layer alone, without sockets."""
+
+    def make_server(self):
+        scenario = get_scenario("paper/fig4-module4", samples=4)
+        plant = SimulatedPlant(build_simulation(scenario))
+        supervisor = AutonomicSupervisor(scenario, plant)
+        supervisor.start()
+        return ControlServer(supervisor)
+
+    def test_bad_json_is_an_error_response(self):
+        response = self.make_server().handle_line("{nope")
+        assert response["ok"] is False
+        assert "bad command JSON" in response["error"]
+
+    def test_non_object_is_an_error_response(self):
+        response = self.make_server().handle_line("[1, 2]")
+        assert response["ok"] is False
+
+    def test_repro_errors_never_escape(self):
+        server = self.make_server()
+        response = server.handle_line(
+            json.dumps({"cmd": "override", "module": 0, "on": 10_000})
+        )
+        assert response["ok"] is False
+        assert "module" in response["error"]

@@ -1,0 +1,86 @@
+"""Replay through the service path is bit-identical to the batch engine.
+
+The contract behind the CI service-smoke ``cmp`` gate: feeding a
+scenario's own workload through the observation wire format and the
+:class:`ReplayPlant` must reproduce the batch run *byte for byte* — both
+the decision JSONL stream and the deterministic summary JSON.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.common.schema import dump_json, run_payload
+from repro.scenario import build_simulation, get_scenario, run_scenario
+from repro.service import AutonomicSupervisor, ReplayPlant, parse_observation
+from repro.service.daemon import feed_lines
+from repro.sim.observers import DecisionRecorder
+
+
+class ListFeed:
+    """An in-process feed: the async face of a list of wire lines."""
+
+    def __init__(self, lines):
+        self._observations = [parse_observation(line) for line in lines]
+        self._index = 0
+
+    async def next(self):
+        if self._index >= len(self._observations):
+            return None
+        observation = self._observations[self._index]
+        self._index += 1
+        return observation
+
+    async def close(self):
+        pass
+
+
+def batch_artifacts(scenario):
+    recorder = DecisionRecorder()
+    result = run_scenario(scenario, observers=(recorder,))
+    summary = dump_json(run_payload(scenario.name, result.summary()))
+    return recorder.lines(), summary
+
+
+def replay_artifacts(scenario):
+    plant = ReplayPlant(
+        build_simulation(scenario), ListFeed(list(feed_lines(scenario)))
+    )
+    supervisor = AutonomicSupervisor(scenario, plant)
+    result = asyncio.run(supervisor.run())
+    assert result is not None, "replay ended short of the horizon"
+    assert supervisor.state == "finished"
+    summary = dump_json(run_payload(scenario.name, result.summary()))
+    return supervisor.decision_lines(), summary
+
+
+@pytest.mark.parametrize(
+    "name, samples",
+    [
+        ("paper/fig4-module4", 12),
+        ("paper/fig6-cluster16", 8),
+    ],
+)
+def test_replay_is_bit_identical_to_batch(name, samples, tmp_path, monkeypatch):
+    from repro.maps.cache import CACHE_ENV_VAR
+
+    monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))  # train maps once
+    scenario = get_scenario(name, samples=samples)
+    batch_lines, batch_summary = batch_artifacts(scenario)
+    replay_lines, replay_summary = replay_artifacts(scenario)
+    assert batch_lines, "batch run produced no decisions"
+    assert replay_lines == batch_lines
+    assert replay_summary == batch_summary
+
+
+def test_out_of_order_feed_is_rejected():
+    from repro.common.errors import ControlError
+
+    scenario = get_scenario("paper/fig4-module4", samples=4)
+    lines = list(feed_lines(scenario))
+    lines[0], lines[1] = lines[1], lines[0]
+    assert parse_observation(lines[0]).step == 1  # genuinely swapped
+    plant = ReplayPlant(build_simulation(scenario), ListFeed(lines))
+    supervisor = AutonomicSupervisor(scenario, plant)
+    with pytest.raises(ControlError, match="out of order"):
+        asyncio.run(supervisor.run())

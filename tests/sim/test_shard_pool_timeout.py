@@ -1,0 +1,59 @@
+"""Bounded worker waits: a hung shard worker fails loudly, not silently."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.common.errors import ControlError
+from repro.sim.shard import ShardWorkerPool
+
+
+class DeafConnection:
+    """A pipe end that never answers (a hung worker, from the parent side)."""
+
+    def __init__(self):
+        self.polls = []
+
+    def poll(self, timeout=None):
+        self.polls.append(timeout)
+        return False
+
+
+def make_pool(timeout):
+    pool = ShardWorkerPool.__new__(ShardWorkerPool)  # skip process spawn
+    pool.request_timeout = timeout
+    pool._connections = [DeafConnection()]
+    return pool
+
+
+class TestRequestTimeout:
+    def test_default_is_bounded(self):
+        assert ShardWorkerPool.DEFAULT_REQUEST_TIMEOUT == 300.0
+
+    def test_silent_worker_raises_after_one_retry(self):
+        pool = make_pool(0.05)
+        with pytest.raises(ControlError, match="retried once"):
+            pool._receive(0)
+        # Exactly two polls of the full window: the wait plus one retry.
+        assert pool._connections[0].polls == [0.05, 0.05]
+
+    def test_error_names_the_worker_and_the_workaround(self):
+        pool = make_pool(0.05)
+        with pytest.raises(ControlError, match=r"shard worker 0 .*serial"):
+            pool._receive(0)
+
+    def test_none_disables_the_bound(self):
+        pool = make_pool(None)
+
+        class AnswersOnBlockingRecv(DeafConnection):
+            def recv(self):
+                return ("ok", {"module": "payload"})
+
+        pool._connections = [AnswersOnBlockingRecv()]
+        assert pool._receive(0) == {"module": "payload"}
+        assert pool._connections[0].polls == []  # went straight to recv()
+
+    def test_non_positive_timeout_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="request_timeout"):
+            ShardWorkerPool([object()], 1, request_timeout=-1.0)
+        with pytest.raises(ConfigurationError, match="request_timeout"):
+            ShardWorkerPool([object()], 1, request_timeout=0.0)
