@@ -1,0 +1,97 @@
+"""The trajectory regression gate, including the injected-slowdown proof."""
+
+import json
+import sys
+
+import pytest
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+
+from perf_trajectory import (  # noqa: E402
+    DEFAULT_BUDGET,
+    append_entry,
+    check_entry,
+    load_series,
+    measure,
+    series_path,
+)
+
+
+def entry(pps=100.0, rss=80.0, **extra):
+    return {
+        "scenario": "paper/fig4-module4",
+        "samples": 200,
+        "periods": 200,
+        "periods_per_sec": pps,
+        "startup_seconds": 1.0,
+        "run_seconds": 200.0 / pps,
+        "peak_rss_mib": rss,
+        **extra,
+    }
+
+
+class TestGate:
+    def test_injected_2x_slowdown_fails(self):
+        """The acceptance criterion: a 2x slowdown must trip the gate."""
+        baseline = [entry(pps=100.0)]
+        ok, messages = check_entry(entry(pps=50.0), baseline)
+        assert not ok
+        assert any("FAIL throughput" in m for m in messages)
+
+    def test_host_jitter_passes(self):
+        baseline = [entry(pps=100.0)]
+        for pps in (95.0, 80.0, 60.0):  # up to the 1.8x budget edge
+            ok, _ = check_entry(entry(pps=pps), baseline)
+            assert ok, f"{pps} periods/sec should pass a 1.8x budget"
+
+    def test_budget_edge_is_exactly_multiplicative(self):
+        baseline = [entry(pps=DEFAULT_BUDGET * 100.0)]
+        ok, _ = check_entry(entry(pps=100.0), baseline)
+        assert ok  # pps * budget == baseline: not strictly below
+        ok, _ = check_entry(entry(pps=99.0), baseline)
+        assert not ok
+
+    def test_memory_regression_fails(self):
+        baseline = [entry(rss=80.0)]
+        ok, messages = check_entry(entry(rss=200.0), baseline)
+        assert not ok
+        assert any("FAIL memory" in m for m in messages)
+
+    def test_baseline_is_best_of_series(self):
+        # An old slow entry must not mask a regression against the
+        # best recorded throughput.
+        baseline = [entry(pps=40.0), entry(pps=100.0)]
+        ok, _ = check_entry(entry(pps=50.0), baseline)
+        assert not ok
+
+    def test_empty_series_passes(self):
+        ok, messages = check_entry(entry(), [])
+        assert ok
+        assert any("first measurement" in m for m in messages)
+
+
+class TestSeries:
+    def test_record_appends_and_round_trips(self, tmp_path):
+        path = series_path("paper/fig4-module4", tmp_path)
+        assert load_series(path) == []
+        append_entry(path, entry(pps=100.0))
+        series = append_entry(path, entry(pps=104.0))
+        assert len(series) == 2
+        assert load_series(path) == series
+        json.loads(path.read_text())  # file is plain JSON on disk
+
+    def test_slug_is_filesystem_safe(self, tmp_path):
+        path = series_path("paper/fig4-module4", tmp_path)
+        assert path.name == "BENCH_paper-fig4-module4.json"
+
+
+class TestMeasure:
+    @pytest.mark.slow
+    def test_measure_produces_a_complete_entry(self):
+        result = measure("paper/fig4-module4", samples=8, repeats=1)
+        assert result["scenario"] == "paper/fig4-module4"
+        assert result["periods"] == 8
+        assert result["periods_per_sec"] > 0.0
+        assert result["startup_seconds"] > 0.0
+        assert result["peak_rss_mib"] > 10.0  # a real interpreter RSS
+        assert "recorded_at" in result

@@ -1,0 +1,119 @@
+"""A terminal dashboard over the live service's GET /status endpoint.
+
+Service mode exposes two read-only HTTP endpoints next to the control
+socket: ``/metrics`` (Prometheus text) and ``/status`` (the same JSON
+snapshot ``repro ctl status`` prints). This example polls ``/status``
+with nothing but the standard library and redraws a small dashboard —
+progress, power, response time, deadline misses, shed state — the way
+an operator console or a Grafana panel would.
+
+Run from the repo root (two terminals):
+
+    PYTHONPATH=src python -m repro.cli serve module-failover \
+        --samples 400 --tick 0.05 --http-port 9090
+    PYTHONPATH=src python examples/telemetry_dashboard.py --port 9090
+
+Try ``repro ctl shed --fraction 0.4 --ttl 20`` while it runs and watch
+the shed panel light up, then drain when the TTL expires.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch_status(host: str, port: int) -> dict:
+    with urllib.request.urlopen(
+        f"http://{host}:{port}/status", timeout=5
+    ) as response:
+        return json.loads(response.read())
+
+
+def bar(fraction: float, width: int = 32) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def render(status: dict) -> str:
+    step = status["step"]
+    total = max(1, status["total_steps"])
+    summary = status["summary"]
+    deadline = status["deadline"]
+    shed = status["shed"]
+    lines = [
+        f"scenario  {status['scenario']}    state {status['state']}",
+        f"progress  [{bar(step / total)}] {step}/{total} steps "
+        f"(period {status['period']})",
+        f"response  {summary['mean_response']:8.4f} s mean "
+        f"({summary['violation_fraction']:.1%} over target)",
+        f"machines  {summary['mean_computers_on']:8.2f} on average, "
+        f"{summary['total_energy']:.0f} J total",
+        f"forecast  {status['forecasts']['next_period_arrivals']:8.2f} "
+        "arrivals next period",
+        f"deadline  {deadline['misses']} miss(es)"
+        + (
+            f" (budget {deadline['seconds']}s)"
+            if deadline["seconds"] is not None
+            else " (no budget set)"
+        ),
+    ]
+    if shed["fraction"] > 0.0 or shed["dropped_requests"] > 0.0:
+        source = "auto" if shed["auto"] else "operator"
+        directive = shed["directive"]
+        ttl = (
+            f", {directive['remaining_seconds']:.0f}s left"
+            if directive and directive["remaining_seconds"] is not None
+            else ""
+        )
+        lines.append(
+            f"shed      {shed['fraction']:.0%} ({source}{ttl}) — "
+            f"{shed['dropped_requests']:.1f} requests dropped over "
+            f"{shed['shed_periods']} period(s)"
+        )
+    else:
+        lines.append("shed      off")
+    overrides = status["overrides"]
+    if overrides:
+        pins = ", ".join(
+            f"module {o['module']}->{o['machines_on']}" for o in overrides
+        )
+        lines.append(f"overrides {pins}")
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9090)
+    parser.add_argument("--interval", type=float, default=0.5)
+    parser.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (used by tests)",
+    )
+    args = parser.parse_args(argv)
+
+    while True:
+        try:
+            status = fetch_status(args.host, args.port)
+        except (urllib.error.URLError, OSError) as error:
+            print(f"no service at {args.host}:{args.port} ({error})")
+            return 1
+        text = render(status)
+        if args.once:
+            print(text)
+            return 0
+        # Redraw in place: clear screen, home the cursor.
+        sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+        sys.stdout.flush()
+        if status["state"] != "running":
+            return 0
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -149,7 +149,23 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
         recorder = DecisionRecorder()
         observers = (*observers, recorder)
-    result = run_scenario(scenario, observers=observers)
+    telemetry = None
+    if args.metrics_out or args.trace_out:
+        from repro.obs import JsonlSink, Telemetry, Tracer
+        from repro.obs.registry import global_registry
+
+        tracer = Tracer(
+            sinks=(JsonlSink(args.trace_out),) if args.trace_out else ()
+        )
+        telemetry = Telemetry(registry=global_registry(), tracer=tracer)
+    result = run_scenario(scenario, observers=observers, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.close()
+        if args.metrics_out:
+            from repro.obs.exposition import render_prometheus
+
+            with open(args.metrics_out, "w") as handle:
+                handle.write(render_prometheus(telemetry.registry))
     if recorder is not None:
         with open(args.decisions_out, "w") as handle:
             for line in recorder.lines():
@@ -193,10 +209,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tick_seconds=args.tick,
         deadline_seconds=args.deadline,
         override_ttl_seconds=args.override_ttl,
+        shed_on_hold=args.shed_on_hold,
         audit_log=args.audit_log,
         summary_out=args.summary_out,
         decisions_out=args.decisions_out,
         map_cache=args.map_cache,
+        http_host=args.http_host,
+        http_port=args.http_port,
     )
     return run_service(config)
 
@@ -226,6 +245,29 @@ def _cmd_ctl(args: argparse.Namespace) -> None:
             command, host=args.host, port=args.control_port
         )
         print(dump_json(response["overrides"]))
+    elif args.ctl_command == "shed":
+        command = {"cmd": "shed"}
+        if args.clear:
+            command["fraction"] = None
+        else:
+            if args.fraction is None:
+                from repro.common.errors import ConfigurationError
+
+                raise ConfigurationError(
+                    "shed needs --fraction F (load share to drop) or --clear"
+                )
+            command["fraction"] = args.fraction
+            if args.ttl is not None:
+                command["ttl"] = args.ttl
+        response = send_command(
+            command, host=args.host, port=args.control_port
+        )
+        print(dump_json(response["shed"]))
+    elif args.ctl_command == "metrics":
+        response = send_command(
+            {"cmd": "metrics"}, host=args.host, port=args.control_port
+        )
+        print(response["metrics"], end="")
     else:  # history
         response = send_command(
             {"cmd": "history", "limit": args.limit},
@@ -581,6 +623,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write every L2/L1 decision as deterministic JSONL "
         "(byte-comparable with `repro serve --decisions-out`)",
     )
+    run.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the run's metrics registry in Prometheus text "
+        "exposition format (does not change the run's results)",
+    )
+    run.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write decision spans (l2-solve / l1-lookahead / l0-bank) "
+        "as JSONL (does not change the run's results)",
+    )
 
     subparsers.add_parser(
         "list-scenarios", help="list the registered scenarios"
@@ -656,6 +708,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--map-cache", default=None, metavar="DIR",
         help="load/store trained abstraction maps in this directory",
     )
+    serve.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="also serve GET /metrics (Prometheus text), /status (JSON) "
+        "and /healthz on this port (0 = ephemeral; default: disabled)",
+    )
+    serve.add_argument(
+        "--http-host", default="127.0.0.1",
+        help="HTTP listener bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--shed-on-hold", type=float, default=None, metavar="FRACTION",
+        help="automatically shed this fraction of incoming load after a "
+        "period with a deadline-held decision (released after the next "
+        "clean period)",
+    )
 
     ctl = subparsers.add_parser(
         "ctl", help="operate a running `repro serve` daemon"
@@ -685,6 +752,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear", action="store_true",
         help="release the module's override instead of setting one",
     )
+    ctl_shed = ctl_sub.add_parser(
+        "shed",
+        help="drop a fraction of incoming load (audited; see "
+        "repro_shed_total)",
+    )
+    ctl_shed.add_argument(
+        "--fraction", type=float, default=None, metavar="F",
+        help="fraction of incoming load to drop, in (0, 1]",
+    )
+    ctl_shed.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="directive lifetime (default: until cleared)",
+    )
+    ctl_shed.add_argument(
+        "--clear", action="store_true",
+        help="stop shedding instead of setting a fraction",
+    )
+    ctl_metrics = ctl_sub.add_parser(
+        "metrics",
+        help="print the daemon's metrics in Prometheus text format",
+    )
     ctl_history = ctl_sub.add_parser(
         "history", help="print recent audit records as JSONL"
     )
@@ -692,7 +780,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=20, metavar="N",
         help="number of most-recent records (default 20)",
     )
-    for sub in (ctl_status, ctl_override, ctl_history):
+    for sub in (ctl_status, ctl_override, ctl_shed, ctl_metrics, ctl_history):
         sub.add_argument(
             "--host", default="127.0.0.1",
             help="control-server address (default 127.0.0.1)",

@@ -89,12 +89,15 @@ def status_payload(
     overrides: "list[dict]",
     deadline: dict,
     audit_entries: int,
+    shed: "dict | None" = None,
 ) -> dict:
     """The ``repro ctl status`` snapshot.
 
     The ``summary`` section is :func:`summary_payload` — field-for-field
     the same dict ``repro run --json`` prints, which is the drift guard
-    the CI gates rely on.
+    the CI gates rely on. ``shed`` reports the load-shedding state
+    (fraction in force, requests dropped so far); it is additive within
+    schema 1 — readers that predate it ignore the key.
     """
     return {
         "schema": SCHEMA_VERSION,
@@ -108,5 +111,6 @@ def status_payload(
         "forecasts": forecasts,
         "overrides": overrides,
         "deadline": deadline,
+        "shed": shed,
         "audit_entries": int(audit_entries),
     }

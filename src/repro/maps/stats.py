@@ -7,29 +7,87 @@ here are incremented by the provider (:mod:`repro.maps.provider`) and
 read by tests and the ``repro train --stats`` CLI. They are plain
 per-process tallies: worker processes keep their own (a sweep worker
 that performs zero trainings reports zero *in that process*).
+
+Since the telemetry core landed, the tallies are *backed by* the global
+:class:`~repro.obs.registry.MetricsRegistry` — every increment through
+the historical ``MAP_STATS.behavior_trainings += 1`` style lands in
+``repro_map_trainings_total{kind=...}`` / ``repro_map_cache_lookups_total``
+/ ``repro_map_memo_hits_total`` and shows up on ``/metrics``. The
+:class:`MapStats` surface (attributes, ``to_dict``, ``reset``) is kept
+as a shim so existing callers and tests are untouched.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.registry import global_registry
 
 
-@dataclass
+class _RegistryCounter:
+    """An int-like attribute backed by a global-registry counter.
+
+    ``__get__`` reads the counter's current value as an ``int``;
+    ``__set__`` supports both the historical ``stats.cache_hits += 1``
+    (read-modify-write) and outright assignment (``= 0`` in resets).
+    """
+
+    def __init__(self, name: str, help_text: str, **labels) -> None:
+        self._name = name
+        self._help = help_text
+        self._labels = labels
+
+    def _counter(self):
+        return global_registry().counter(self._name, self._help, **self._labels)
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        return int(self._counter().value)
+
+    def __set__(self, instance, value) -> None:
+        counter = self._counter()
+        counter.value = float(value)
+
+
 class MapStats:
-    """Tallies of what the provider did in this process."""
+    """Tallies of what the provider did in this process.
+
+    Attribute reads/writes proxy to the global metrics registry; see
+    the module docstring. ``sources`` stays a plain dict, keyed
+    ``digest -> "trained" | "cache" | "memo"`` (last source wins).
+    """
 
     #: Full offline trainings actually executed, per artifact kind.
-    behavior_trainings: int = 0
-    module_trainings: int = 0
+    behavior_trainings = _RegistryCounter(
+        "repro_map_trainings_total",
+        "Offline map trainings executed.",
+        kind="behavior",
+    )
+    module_trainings = _RegistryCounter(
+        "repro_map_trainings_total",
+        "Offline map trainings executed.",
+        kind="module",
+    )
     #: Artifacts served from the on-disk content-addressed cache.
-    cache_hits: int = 0
+    cache_hits = _RegistryCounter(
+        "repro_map_cache_lookups_total",
+        "Disk-cache lookups by the map provider.",
+        result="hit",
+    )
     #: Disk-cache lookups that found nothing (training followed).
-    cache_misses: int = 0
+    cache_misses = _RegistryCounter(
+        "repro_map_cache_lookups_total",
+        "Disk-cache lookups by the map provider.",
+        result="miss",
+    )
     #: Artifacts served from the in-process memo (no disk, no training).
-    memo_hits: int = 0
-    #: Per-digest tallies of how each artifact was obtained, keyed
-    #: ``digest -> "trained" | "cache" | "memo"`` (last source wins).
-    sources: dict = field(default_factory=dict)
+    memo_hits = _RegistryCounter(
+        "repro_map_memo_hits_total",
+        "Artifacts served from the in-process memo.",
+    )
+
+    def __init__(self) -> None:
+        #: Per-digest tallies of how each artifact was obtained.
+        self.sources: dict = {}
 
     @property
     def trainings(self) -> int:

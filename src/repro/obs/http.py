@@ -1,0 +1,116 @@
+"""A minimal HTTP listener for live telemetry: GET /metrics, /status.
+
+Service mode serves two read-only endpoints straight off the asyncio
+loop the supervisor already runs on — no framework, no threads:
+
+* ``GET /metrics`` — the registry in Prometheus text exposition format;
+* ``GET /status`` — the supervisor's status snapshot as JSON (the same
+  payload ``repro ctl status`` prints);
+* ``GET /healthz`` — ``ok`` while the loop is serving.
+
+The parser is deliberately narrow (request line + headers, GET only):
+this is an operator/scraper surface on a trusted network, mirroring the
+line-JSON control socket next to it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs.exposition import CONTENT_TYPE, render_prometheus
+
+
+class ObservabilityHTTPServer:
+    """Serve one registry (and optional status provider) over HTTP."""
+
+    def __init__(
+        self,
+        registry,
+        status_provider=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.status_provider = status_provider
+        self.host = host
+        self.port = port
+        self._server: "asyncio.base_events.Server | None" = None
+
+    async def start(self) -> "ObservabilityHTTPServer":
+        """Bind and listen; resolves ``port`` when 0 was requested."""
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    def _respond(self, path: str) -> "tuple[int, str, str]":
+        """Route one GET; returns (status, content-type, body)."""
+        if path in ("/metrics", "/metrics/"):
+            return 200, CONTENT_TYPE, render_prometheus(self.registry)
+        if path in ("/status", "/status/"):
+            if self.status_provider is None:
+                return 404, "text/plain", "no status provider attached\n"
+            payload = self.status_provider()
+            return (
+                200,
+                "application/json",
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            )
+        if path in ("/healthz", "/healthz/"):
+            return 200, "text/plain", "ok\n"
+        return 404, "text/plain", f"unknown path {path!r}\n"
+
+    async def _serve_client(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            parts = request_line.decode("latin-1").split()
+            # Drain the headers; this server ignores them.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if len(parts) < 2:
+                status, content_type, body = 400, "text/plain", "bad request\n"
+            elif parts[0] != "GET":
+                status, content_type, body = (
+                    405,
+                    "text/plain",
+                    "GET only\n",
+                )
+            else:
+                try:
+                    status, content_type, body = self._respond(parts[1])
+                except Exception as error:  # surface, never crash the loop
+                    status, content_type, body = (
+                        500,
+                        "text/plain",
+                        f"error: {error}\n",
+                    )
+            reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                      405: "Method Not Allowed", 500: "Internal Server Error"}
+            payload = body.encode()
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+                + payload
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+
+    async def close(self) -> None:
+        """Stop listening; safe to call more than once."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None

@@ -214,13 +214,15 @@ class Scenario:
         tick_seconds: float | None = None,
         deadline_seconds: float | None = None,
         override_ttl_seconds: float | None = None,
+        shed_fraction_on_hold: float | None = None,
     ) -> "Scenario":
         """Set live-service parameters (``repro serve``; batch runs ignore).
 
         ``tick_seconds`` paces the supervisor loop, ``deadline_seconds``
         budgets each boundary's decisions (overruns hold the previous
         allocation), ``override_ttl_seconds`` is the default operator
-        override expiry.
+        override expiry, ``shed_fraction_on_hold`` arms automatic load
+        shedding after deadline-held periods.
         """
         updates: dict = {}
         if tick_seconds is not None:
@@ -229,6 +231,8 @@ class Scenario:
             updates["deadline_seconds"] = deadline_seconds
         if override_ttl_seconds is not None:
             updates["override_ttl_seconds"] = override_ttl_seconds
+        if shed_fraction_on_hold is not None:
+            updates["shed_fraction_on_hold"] = shed_fraction_on_hold
         self._service = replace(self._service, **updates)
         return self
 

@@ -366,13 +366,17 @@ def run_scenario(
     l2_params: L2Params | None = None,
     baseline: "_BaselineBase | None" = None,
     behavior_maps=None,
+    telemetry=None,
 ) -> "ModuleRunResult | ClusterRunResult":
     """Run a scenario end-to-end and return its structured result.
 
     ``scenario`` is a :class:`ScenarioSpec` (usually from
     :class:`~repro.scenario.builder.Scenario` or a stored dict/JSON) or
     the name of a registered scenario. ``observers`` receive the
-    engine's stepwise events (:mod:`repro.sim.observers`).
+    engine's stepwise events (:mod:`repro.sim.observers`). ``telemetry``
+    (a :class:`~repro.obs.instrument.Telemetry`) attaches its registry
+    and tracer to the engine's telemetry seam and rides the observer
+    list; the run's numerical results are identical with or without it.
     """
     simulation = build_simulation(
         scenario,
@@ -382,4 +386,7 @@ def run_scenario(
         baseline=baseline,
         behavior_maps=behavior_maps,
     )
+    if telemetry is not None:
+        telemetry.attach(simulation)
+        observers = (*observers, telemetry.observer())
     return simulation.run(observers=observers)

@@ -357,12 +357,16 @@ class ServiceSpec:
     and is logged (``None``, the default, disables the budget and keeps
     the run byte-identical to batch). ``override_ttl_seconds`` is the
     default expiry applied to operator overrides issued without an
-    explicit TTL.
+    explicit TTL. ``shed_fraction_on_hold`` > 0 arms automatic load
+    shedding: after a control period that held a decision past its
+    deadline budget, the supervisor drops that fraction of incoming
+    load until a clean period passes (0, the default, never sheds).
     """
 
     tick_seconds: float = 0.0
     deadline_seconds: float | None = None
     override_ttl_seconds: float = 3600.0
+    shed_fraction_on_hold: float = 0.0
 
     def __post_init__(self) -> None:
         require_non_negative(self.tick_seconds, "service.tick_seconds")
@@ -371,6 +375,11 @@ class ServiceSpec:
         require_positive(
             self.override_ttl_seconds, "service.override_ttl_seconds"
         )
+        if not 0.0 <= self.shed_fraction_on_hold <= 1.0:
+            raise ConfigurationError(
+                "service.shed_fraction_on_hold must be in [0, 1], got "
+                f"{self.shed_fraction_on_hold!r}"
+            )
 
 
 @dataclass(frozen=True)

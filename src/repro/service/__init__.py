@@ -21,7 +21,10 @@ plant, for as long as traffic keeps arriving:
   forecasts, the live :class:`~repro.sim.observers.StreamStats`
   aggregates), manual overrides with expiry, and an append-only
   command/decision audit log, served over a line-JSON control socket
-  (``repro ctl status|override|history``).
+  (``repro ctl status|override|shed|metrics|history``), plus load
+  shedding: drop a bounded fraction of incoming load — by operator
+  order or automatically after deadline-held periods — with every
+  dropped request audited and counted (``repro_shed_total``).
 * **The daemon** (:mod:`~repro.service.daemon`) — ``repro serve`` wiring:
   scenario → simulation → plant → supervisor → control server, with
   clean SIGTERM shutdown and batch-byte-identical summary/decision
@@ -37,7 +40,12 @@ from repro.service.feed import (
     parse_observation,
     send_observations,
 )
-from repro.service.manager import AuditLog, Override, OverrideBook
+from repro.service.manager import (
+    AuditLog,
+    Override,
+    OverrideBook,
+    ShedDirective,
+)
 from repro.service.plant import Plant, ReplayPlant, SimulatedPlant
 from repro.service.server import ControlServer, send_command
 from repro.service.supervisor import AutonomicSupervisor
@@ -53,6 +61,7 @@ __all__ = [
     "Plant",
     "ReplayPlant",
     "ServeConfig",
+    "ShedDirective",
     "SimulatedPlant",
     "SocketFeed",
     "observation_line",

@@ -24,6 +24,9 @@ from dataclasses import dataclass
 
 from repro.common.errors import ControlError
 from repro.common.schema import dump_json, run_payload
+from repro.obs.http import ObservabilityHTTPServer
+from repro.obs.instrument import TelemetryObserver
+from repro.obs.registry import global_registry
 from repro.scenario import build_simulation, get_scenario
 from repro.scenario.runner import build_workload, resolve_control_params
 from repro.service.feed import (
@@ -61,10 +64,15 @@ class ServeConfig:
     tick_seconds: "float | None" = None
     deadline_seconds: "float | None" = None
     override_ttl_seconds: "float | None" = None
+    shed_on_hold: "float | None" = None
     audit_log: "str | None" = None
     summary_out: "str | None" = None
     decisions_out: "str | None" = None
     map_cache: "str | None" = None
+    #: Optional read-only HTTP listener (GET /metrics, /status,
+    #: /healthz). ``None`` disables it; 0 binds an ephemeral port.
+    http_host: str = "127.0.0.1"
+    http_port: "int | None" = None
 
 
 def resolve_service_scenario(config: ServeConfig):
@@ -79,6 +87,8 @@ def resolve_service_scenario(config: ServeConfig):
         overrides["service.deadline_seconds"] = config.deadline_seconds
     if config.override_ttl_seconds is not None:
         overrides["service.override_ttl_seconds"] = config.override_ttl_seconds
+    if config.shed_on_hold is not None:
+        overrides["service.shed_fraction_on_hold"] = config.shed_on_hold
     if config.map_cache is not None:
         overrides["control.map_cache"] = config.map_cache
     return scenario.with_overrides(**overrides) if overrides else scenario
@@ -132,14 +142,28 @@ async def _serve(scenario, simulation, config: ServeConfig) -> int:
         plant = SimulatedPlant(simulation)
         feed_note = "simulated workload"
     audit = AuditLog(path=config.audit_log)
-    supervisor = AutonomicSupervisor(scenario, plant, audit_log=audit)
-    supervisor.start()
+    registry = global_registry()
+    simulation.set_telemetry(metrics=registry)
+    supervisor = AutonomicSupervisor(
+        scenario, plant, audit_log=audit, registry=registry
+    )
+    supervisor.start(observers=(TelemetryObserver(registry),))
     server = await ControlServer(
         supervisor, config.control_host, config.control_port
     ).start()
+    http_server = None
+    http_note = ""
+    if config.http_port is not None:
+        http_server = await ObservabilityHTTPServer(
+            registry,
+            status_provider=supervisor.status,
+            host=config.http_host,
+            port=config.http_port,
+        ).start()
+        http_note = f", http {http_server.host}:{http_server.port}"
     print(
         f"serving {scenario.name or config.scenario}: control "
-        f"{server.host}:{server.port}, {feed_note}",
+        f"{server.host}:{server.port}, {feed_note}{http_note}",
         file=sys.stderr,
         flush=True,
     )
@@ -157,6 +181,8 @@ async def _serve(scenario, simulation, config: ServeConfig) -> int:
         for signum in handled_signals:
             loop.remove_signal_handler(signum)
         await server.close()
+        if http_server is not None:
+            await http_server.close()
         if feed is not None:
             await feed.close()
         if config.decisions_out:

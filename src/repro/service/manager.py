@@ -34,6 +34,43 @@ class Override:
         return self.remaining_seconds(now) <= 0.0
 
 
+@dataclass
+class ShedDirective:
+    """One load-shedding order: drop ``fraction`` of incoming load.
+
+    ``ttl_seconds=None`` keeps the directive in force until cleared;
+    ``source`` distinguishes operator orders from the automatic
+    deadline-hold policy (``"auto"``).
+    """
+
+    fraction: float
+    ttl_seconds: "float | None"
+    set_at: float  # clock() at issue time
+    source: str = "operator"
+
+    def remaining_seconds(self, now: float) -> "float | None":
+        """Seconds of validity left (None = until cleared)."""
+        if self.ttl_seconds is None:
+            return None
+        return self.ttl_seconds - (now - self.set_at)
+
+    def is_expired(self, now: float) -> bool:
+        remaining = self.remaining_seconds(now)
+        return remaining is not None and remaining <= 0.0
+
+    def snapshot(self, now: float) -> dict:
+        """JSON-safe view (for status payloads)."""
+        remaining = self.remaining_seconds(now)
+        return {
+            "fraction": self.fraction,
+            "ttl_seconds": self.ttl_seconds,
+            "remaining_seconds": (
+                None if remaining is None else round(remaining, 3)
+            ),
+            "source": self.source,
+        }
+
+
 class OverrideBook:
     """The active manual overrides, one per module, with expiry.
 

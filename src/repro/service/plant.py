@@ -33,10 +33,32 @@ class Plant:
 
     def __init__(self, simulation) -> None:
         self.simulation = simulation
+        #: Fraction of incoming load deliberately dropped before the
+        #: engine sees it (0.0 = shedding off). Set by the supervisor —
+        #: operator ``shed`` verb or the automatic deadline-hold policy.
+        self.shed_fraction = 0.0
+        #: Cumulative requests dropped by shedding (trace units).
+        self.shed_requests = 0.0
 
     def bind(self, observers=()) -> None:
         """Reset the underlying run with the supervisor's observers."""
         self.simulation.reset(observers=observers)
+
+    def _apply_shed(self, k: int) -> None:
+        """Scale step ``k``'s arrivals down by the active shed fraction.
+
+        Mutates the trace bin before the engine reads it, exactly as the
+        replay plant overwrites bins with observed arrivals — the engine
+        itself never learns shedding exists. No-op at fraction 0, so
+        batch-identical runs stay batch-identical.
+        """
+        fraction = self.shed_fraction
+        if fraction <= 0.0:
+            return
+        counts = self.simulation.trace.counts
+        kept = counts[k] * (1.0 - fraction)
+        self.shed_requests += float(counts[k] - kept)
+        counts[k] = kept
 
     @property
     def finished(self) -> bool:
@@ -71,6 +93,7 @@ class SimulatedPlant(Plant):
     async def advance(self):
         if self.simulation.finished:
             return None
+        self._apply_shed(self.simulation.steps_taken)
         return self.simulation.step()
 
 
@@ -110,4 +133,5 @@ class ReplayPlant(Plant):
                     "work; use a zipfmix workload to carry one)"
                 )
             simulation.work_series[k] = observation.work
+        self._apply_shed(k)
         return simulation.step()

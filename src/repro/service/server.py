@@ -6,6 +6,9 @@ reads a single JSON line back. Commands mirror the ``repro ctl`` verbs::
     {"cmd": "status"}
     {"cmd": "override", "module": 0, "on": 2, "ttl": 60}
     {"cmd": "override", "module": 0, "on": null}        # clear
+    {"cmd": "shed", "fraction": 0.25, "ttl": 60}
+    {"cmd": "shed", "fraction": null}                   # stop shedding
+    {"cmd": "metrics"}
     {"cmd": "history", "limit": 20}
     {"cmd": "stop"}
 
@@ -82,6 +85,25 @@ class ControlServer:
                 source="ctl",
             )
             return {"ok": True, "overrides": supervisor.overrides.snapshot()}
+        if command == "shed":
+            if "fraction" not in payload:
+                return {"ok": False, "error": "shed needs a 'fraction' field"}
+            supervisor.shed(
+                payload["fraction"],
+                ttl_seconds=payload.get("ttl"),
+                source="ctl",
+            )
+            return {"ok": True, "shed": supervisor.shed_snapshot()}
+        if command == "metrics":
+            registry = getattr(supervisor, "registry", None)
+            if registry is None:
+                return {
+                    "ok": False,
+                    "error": "this supervisor exposes no metrics registry",
+                }
+            from repro.obs.exposition import render_prometheus
+
+            return {"ok": True, "metrics": render_prometheus(registry)}
         if command == "history":
             limit = payload.get("limit", 20)
             if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:

@@ -20,14 +20,14 @@ from __future__ import annotations
 import asyncio
 import time
 
-from repro.common.errors import ControlError
+from repro.common.errors import ConfigurationError, ControlError
 from repro.common.schema import (
     l1_decision_record,
     l2_decision_record,
     status_payload,
 )
 from repro.forecast.structural import WorkloadPredictor
-from repro.service.manager import AuditLog, OverrideBook
+from repro.service.manager import AuditLog, OverrideBook, ShedDirective
 from repro.sim.observers import SimulationObserver
 
 
@@ -43,7 +43,7 @@ class _SupervisorObserver(SimulationObserver):
         supervisor.decision_records.append(record)
         supervisor.allocations[record["module"]] = record
         if record["held"]:
-            supervisor.deadline_misses += 1
+            supervisor._note_deadline_miss()
             supervisor.audit.record(
                 "deadline-miss",
                 level="l1",
@@ -57,7 +57,7 @@ class _SupervisorObserver(SimulationObserver):
         supervisor.decision_records.append(record)
         supervisor.last_l2 = record
         if record["held"]:
-            supervisor.deadline_misses += 1
+            supervisor._note_deadline_miss()
             supervisor.audit.record(
                 "deadline-miss", level="l2", period=record["period"]
             )
@@ -75,6 +75,7 @@ class AutonomicSupervisor:
         plant,
         audit_log: "AuditLog | None" = None,
         clock=time.monotonic,
+        registry=None,
     ) -> None:
         self.scenario = scenario
         self.plant = plant
@@ -94,6 +95,55 @@ class AutonomicSupervisor:
         self.state = "idle"
         self._stop = asyncio.Event()
         self._result = None
+        self._clock = clock
+        #: Load-shedding state: the operator directive in force (if
+        #: any), whether the automatic deadline-hold policy is engaged,
+        #: whether the period now closing saw a held decision, and how
+        #: much of ``plant.shed_requests`` is already audited.
+        self.shed_directive: "ShedDirective | None" = None
+        self.shed_periods = 0
+        self._auto_shedding = False
+        self._held_in_period = False
+        self._shed_mark = 0.0
+        #: Optional MetricsRegistry; gauges/counters stay None without
+        #: one, so an unmetered supervisor pays zero per-event cost.
+        self.registry = registry
+        if registry is not None:
+            self._metric_deadline_misses = registry.counter(
+                "repro_service_deadline_misses_total",
+                "Decisions held past their deadline budget.",
+            )
+            self._metric_step = registry.gauge(
+                "repro_service_step", "T_L0 steps taken by the live run."
+            )
+            self._metric_total_steps = registry.gauge(
+                "repro_service_total_steps", "T_L0 steps in the full horizon."
+            )
+            self._metric_overrides = registry.counter(
+                "repro_service_overrides_total",
+                "Operator override commands applied.",
+            )
+            self._metric_shed = registry.counter(
+                "repro_shed_total",
+                "Requests deliberately dropped by load shedding.",
+            )
+            self._metric_shed_periods = registry.counter(
+                "repro_shed_periods_total",
+                "Control periods in which load was shed.",
+            )
+        else:
+            self._metric_deadline_misses = None
+            self._metric_step = None
+            self._metric_total_steps = None
+            self._metric_overrides = None
+            self._metric_shed = None
+            self._metric_shed_periods = None
+
+    def _note_deadline_miss(self) -> None:
+        self.deadline_misses += 1
+        self._held_in_period = True
+        if self._metric_deadline_misses is not None:
+            self._metric_deadline_misses.inc()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -105,6 +155,9 @@ class AutonomicSupervisor:
         simulation.set_decision_deadline(self.service.deadline_seconds)
         self.plant.bind((_SupervisorObserver(self), *observers))
         self.state = "running"
+        if self._metric_total_steps is not None:
+            self._metric_total_steps.set(float(self.plant.total_steps))
+            self._metric_step.set(0.0)
         self.audit.record(
             "started",
             scenario=self.scenario.name,
@@ -158,6 +211,8 @@ class AutonomicSupervisor:
         if self.plant.finished:
             self._result = self.plant.finish()
             self.state = "finished"
+            if self._metric_step is not None:
+                self._metric_step.set(float(self.plant.steps_taken))
             self.audit.record("finished", steps=self.plant.steps_taken)
             return self._result
         self.state = "stopped"
@@ -194,6 +249,8 @@ class AutonomicSupervisor:
         override = self.overrides.set(
             module, machines_on, ttl_seconds=ttl_seconds, source=source
         )
+        if self._metric_overrides is not None:
+            self._metric_overrides.inc()
         self.audit.record(
             "override-set",
             module=override.module,
@@ -213,9 +270,127 @@ class AutonomicSupervisor:
                 ttl_seconds=override.ttl_seconds,
             )
 
+    # ------------------------------------------------------------------
+    # Load shedding
+    # ------------------------------------------------------------------
+
+    def shed(
+        self,
+        fraction: "float | None",
+        ttl_seconds: "float | None" = None,
+        source: str = "operator",
+    ):
+        """Drop ``fraction`` of incoming load (``None`` stops shedding).
+
+        Takes effect from the next step: the plant scales each trace
+        bin down before the engine reads it, so the controllers see
+        (and provision for) only the load actually admitted. Every
+        dropped request is accounted — per-period ``shed`` audit
+        records and the ``repro_shed_total`` counter. ``ttl_seconds``
+        bounds the directive; ``None`` keeps it until cleared.
+        """
+        if fraction is None:
+            existed = self.shed_directive is not None or self._auto_shedding
+            self.shed_directive = None
+            self._auto_shedding = False
+            self.plant.shed_fraction = 0.0
+            self.audit.record("shed-cleared", existed=existed, source=source)
+            return None
+        fraction = float(fraction)
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"shed fraction must be in (0, 1], got {fraction!r}"
+            )
+        if ttl_seconds is not None and not float(ttl_seconds) > 0:
+            raise ConfigurationError(
+                f"shed ttl must be positive seconds, got {ttl_seconds!r}"
+            )
+        directive = ShedDirective(
+            fraction=fraction,
+            ttl_seconds=None if ttl_seconds is None else float(ttl_seconds),
+            set_at=self._clock(),
+            source=source,
+        )
+        self.shed_directive = directive
+        self._auto_shedding = False
+        self.plant.shed_fraction = fraction
+        self.audit.record(
+            "shed-set",
+            fraction=fraction,
+            ttl_seconds=directive.ttl_seconds,
+            source=source,
+        )
+        return directive
+
+    def _expire_shed(self) -> None:
+        directive = self.shed_directive
+        if directive is not None and directive.is_expired(self._clock()):
+            self.shed_directive = None
+            self.plant.shed_fraction = 0.0
+            self.audit.record(
+                "shed-expired",
+                fraction=directive.fraction,
+                ttl_seconds=directive.ttl_seconds,
+            )
+
+    def _update_auto_shed(self) -> None:
+        """Engage/release the deadline-hold shedding policy.
+
+        Armed by ``service.shed_fraction_on_hold`` > 0 and dormant
+        whenever an operator directive is in force. Engages after a
+        period that held a decision past its budget, releases after the
+        first clean period.
+        """
+        auto = self.service.shed_fraction_on_hold
+        if auto <= 0.0 or self.shed_directive is not None:
+            return
+        if self._held_in_period and not self._auto_shedding:
+            self._auto_shedding = True
+            self.plant.shed_fraction = auto
+            self.audit.record("shed-auto-engaged", fraction=auto)
+        elif not self._held_in_period and self._auto_shedding:
+            self._auto_shedding = False
+            self.plant.shed_fraction = 0.0
+            self.audit.record("shed-auto-released", fraction=auto)
+
+    def shed_snapshot(self) -> dict:
+        """JSON-safe load-shedding state (the status payload's ``shed``)."""
+        directive = self.shed_directive
+        return {
+            "fraction": float(self.plant.shed_fraction),
+            "auto": self._auto_shedding,
+            "auto_fraction_on_hold": self.service.shed_fraction_on_hold,
+            "dropped_requests": round(float(self.plant.shed_requests), 6),
+            "shed_periods": self.shed_periods,
+            "directive": (
+                None
+                if directive is None
+                else directive.snapshot(self._clock())
+            ),
+        }
+
     def _on_period_end(self, event) -> None:
         self.next_forecast = self.predictor.update(event.arrivals)
         self._expire_overrides()
+        self._expire_shed()
+        dropped = self.plant.shed_requests - self._shed_mark
+        if dropped > 0.0:
+            self._shed_mark = self.plant.shed_requests
+            self.shed_periods += 1
+            self.audit.record(
+                "shed",
+                period=int(event.period),
+                dropped=round(dropped, 6),
+                fraction=self.plant.shed_fraction,
+                auto=self._auto_shedding,
+            )
+            if self._metric_shed is not None:
+                self._metric_shed.inc(dropped)
+                self._metric_shed_periods.inc()
+        self._update_auto_shed()
+        self._held_in_period = False
+        if self._metric_step is not None:
+            self._metric_step.set(float(self.plant.steps_taken))
 
     def status(self) -> dict:
         """The operator's status snapshot (see :func:`status_payload`)."""
@@ -253,6 +428,7 @@ class AutonomicSupervisor:
                 "seconds": self.service.deadline_seconds,
                 "misses": self.deadline_misses,
             },
+            shed=self.shed_snapshot(),
             audit_entries=self.audit.entries,
         )
 

@@ -153,6 +153,9 @@ class ModuleSimulation:
         #: which skips every related branch and clock read).
         self.decision_deadline: "float | None" = None
         self.module_overrides: "dict[int, int]" = {}
+        #: Telemetry seams (same zero-cost contract; see set_telemetry).
+        self.metrics = None
+        self.tracer = None
         self._state: "_ModuleRunState | None" = None
 
     @property
@@ -203,6 +206,19 @@ class ModuleSimulation:
                 f"only {self.spec.size}"
             )
         self.module_overrides[module] = on
+
+    def set_telemetry(self, metrics=None, tracer=None) -> None:
+        """Attach a metrics registry and/or decision tracer.
+
+        ``metrics`` (a :class:`~repro.obs.registry.MetricsRegistry`)
+        receives decision-latency histograms; ``tracer`` (a
+        :class:`~repro.obs.trace.Tracer` with sinks) receives one span
+        per L1 decision and per period's L0 bank. ``None`` (the
+        default) detaches and skips every related branch and clock
+        read, so batch runs stay byte-identical.
+        """
+        self.metrics = metrics
+        self.tracer = tracer
 
     @property
     def total_steps(self) -> int:
@@ -305,12 +321,18 @@ class ModuleSimulation:
             # observe above has already resynced the forecasts.
             deadline = self.decision_deadline
             started = time.monotonic() if deadline is not None else None
+            metrics = self.metrics
+            tracer = self.tracer
+            tracing = tracer is not None and tracer.enabled
+            timed = tracing or metrics is not None
+            t0 = time.perf_counter() if timed else None
             if self.baseline is None:
                 decision = controller.act(
                     plant.queue_lengths, state.alpha, available=plant.available_mask
                 )
             else:
                 decision = controller.act(plant.queue_lengths, state.alpha)
+            decision_wall = time.perf_counter() - t0 if timed else 0.0
             held = (
                 deadline is not None
                 and time.monotonic() - started > deadline
@@ -332,6 +354,26 @@ class ModuleSimulation:
                 )
                 plant.apply_configuration(state.alpha)
                 forced = True
+            if metrics is not None:
+                metrics.histogram(
+                    "repro_decision_seconds",
+                    "Wall time per controller decision.",
+                    level="l1",
+                ).observe(decision_wall)
+            if tracing:
+                tracer.emit(
+                    "l1-lookahead",
+                    period=index,
+                    module=0,
+                    wall_us=decision_wall * 1e6,
+                    machines_on=int(state.alpha.sum()),
+                    lookahead=(
+                        0 if self.baseline is not None
+                        else self.l1_params.horizon
+                    ),
+                    held=held,
+                    forced=forced,
+                )
             state.sink.on_l1_decision(
                 L1DecisionEvent(
                     period=index,
@@ -388,6 +430,22 @@ class ModuleSimulation:
         )
         state.sink.on_step(event)
         if (k + 1) % self.substeps == 0 or k + 1 == self.total_steps:
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled and self.l0s:
+                # The L0 bank's per-period span aggregates the stats the
+                # controllers already record per invocation, so tracing
+                # adds no clock reads on the step path.
+                wall_total = sum(l0.stats.wall_seconds for l0 in self.l0s)
+                states_total = sum(l0.stats.states_explored for l0 in self.l0s)
+                tracer.emit(
+                    "l0-bank",
+                    period=k // self.substeps,
+                    module=0,
+                    wall_us=(wall_total - state.l0_wall_mark) * 1e6,
+                    states=states_total - state.l0_states_mark,
+                )
+                state.l0_wall_mark = wall_total
+                state.l0_states_mark = states_total
             state.sink.on_period_end(
                 PeriodEvent(
                     period=k // self.substeps,
@@ -528,6 +586,8 @@ class _ModuleRunState:
     pending_events: list
     interval_arrivals: float = 0.0
     k: int = 0
+    l0_wall_mark: float = 0.0
+    l0_states_mark: int = 0
     result: "ModuleRunResult | None" = None
 
 
@@ -630,6 +690,9 @@ class ClusterSimulation:
         #: which skips every related branch and clock read).
         self.decision_deadline: "float | None" = None
         self.module_overrides: "dict[int, int]" = {}
+        #: Telemetry seams (same zero-cost contract; see set_telemetry).
+        self.metrics = None
+        self.tracer = None
         self._state: "_ClusterRunState | None" = None
         if baseline is not None:
             if callable(baseline):
@@ -748,6 +811,22 @@ class ClusterSimulation:
             )
         self.module_overrides[module] = on
 
+    def set_telemetry(self, metrics=None, tracer=None) -> None:
+        """Attach a metrics registry and/or decision tracer.
+
+        ``metrics`` (a :class:`~repro.obs.registry.MetricsRegistry`)
+        receives decision-latency histograms and — on the sharded
+        backend — the per-worker registries, merged into the parent at
+        ``finish()`` with a ``worker`` label. ``tracer`` receives
+        decision spans: the serial backend emits the full L2-solve /
+        L1-lookahead / L0-bank sequence, the sharded backend the
+        parent-side L2 spans only (module state lives in the workers).
+        ``None`` (the default) detaches and skips every related branch
+        and clock read, so batch runs stay byte-identical.
+        """
+        self.metrics = metrics
+        self.tracer = tracer
+
     # ------------------------------------------------------------------
     # Stepwise protocol
     # ------------------------------------------------------------------
@@ -829,7 +908,11 @@ class ClusterSimulation:
             last_queue_lengths=[runner.plant.queue_lengths for runner in runners],
         )
         if self.execution == "sharded":
-            state.pool = ShardWorkerPool(runners, self.shard_workers)
+            state.pool = ShardWorkerPool(
+                runners,
+                self.shard_workers,
+                collect_metrics=self.metrics is not None,
+            )
             state.shard_worker_count = state.pool.workers
             # The parent's runner copies must not be touched again: the
             # authoritative module state now lives in the workers.
@@ -855,6 +938,37 @@ class ClusterSimulation:
             events = self._step_serial(state)
         k = state.k
         if (k + 1) % self.substeps == 0 or k + 1 == self.total_steps:
+            tracer = self.tracer
+            if (
+                tracer is not None
+                and tracer.enabled
+                and state.runners is not None
+            ):
+                # L0 wall time comes from the bank's own accounting (the
+                # controllers time themselves), so the step path gains no
+                # clock reads: the span is the delta since the last mark.
+                if state.l0_wall_marks is None:
+                    state.l0_wall_marks = [0.0] * len(state.runners)
+                    state.l0_states_marks = [0] * len(state.runners)
+                period = k // self.substeps
+                for i, runner in enumerate(state.runners):
+                    if not runner.l0_bank:
+                        continue
+                    wall_total = sum(
+                        l0.stats.wall_seconds for l0 in runner.l0_bank
+                    )
+                    states_total = sum(
+                        l0.stats.states_explored for l0 in runner.l0_bank
+                    )
+                    tracer.emit(
+                        "l0-bank",
+                        period=period,
+                        module=i,
+                        wall_us=(wall_total - state.l0_wall_marks[i]) * 1e6,
+                        states=states_total - state.l0_states_marks[i],
+                    )
+                    state.l0_wall_marks[i] = wall_total
+                    state.l0_states_marks[i] = states_total
             state.sink.on_period_end(
                 PeriodEvent(
                     period=k // self.substeps,
@@ -870,8 +984,37 @@ class ClusterSimulation:
         if k % self.substeps == 0:
             l2_event, boundaries = self._parent_boundary(state, k)
             state.sink.on_l2_decision(l2_event)
+            metrics = self.metrics
+            tracer = self.tracer
+            tracing = tracer is not None and tracer.enabled
+            timed = tracing or metrics is not None
             for runner, boundary in zip(state.runners, boundaries):
-                state.sink.on_l1_decision(runner.begin_period(boundary))
+                t0 = time.perf_counter() if timed else None
+                event = runner.begin_period(boundary)
+                if timed:
+                    wall = time.perf_counter() - t0
+                    if metrics is not None:
+                        metrics.histogram(
+                            "repro_decision_seconds",
+                            "Wall time per controller decision.",
+                            level="l1",
+                        ).observe(wall)
+                    if tracing:
+                        tracer.emit(
+                            "l1-lookahead",
+                            period=event.period,
+                            module=event.module,
+                            wall_us=wall * 1e6,
+                            machines_on=int(event.alpha.sum()),
+                            lookahead=(
+                                0
+                                if self.baselines is not None
+                                else self.l1_params.horizon
+                            ),
+                            held=event.held,
+                            forced=event.forced,
+                        )
+                state.sink.on_l1_decision(event)
         events = []
         for runner, step_input in zip(state.runners, self._parent_step(state, k)):
             event = runner.step(step_input)
@@ -976,7 +1119,13 @@ class ClusterSimulation:
         queue_avgs = np.array(
             [queue_lengths.mean() for queue_lengths in state.module_queue_lengths()]
         )
+        metrics = self.metrics
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        timed = tracing or metrics is not None
+        t0 = time.perf_counter() if timed else None
         l2_decision = self.l2.act(queue_avgs, state.gamma_modules)
+        l2_wall = time.perf_counter() - t0 if timed else 0.0
         l2_held = deadline_at is not None and time.monotonic() > deadline_at
         if not l2_held:
             state.gamma_modules = l2_decision.gamma
@@ -986,6 +1135,21 @@ class ClusterSimulation:
             prediction=global_prediction,
             held=l2_held,
         )
+        if metrics is not None:
+            metrics.histogram(
+                "repro_decision_seconds",
+                "Wall time per controller decision.",
+                level="l2",
+            ).observe(l2_wall)
+        if tracing:
+            tracer.emit(
+                "l2-solve",
+                period=index,
+                wall_us=l2_wall * 1e6,
+                gamma=[round(float(g), 6) for g in state.gamma_modules],
+                prediction=round(global_prediction, 6),
+                held=l2_held,
+            )
         # Each module's load estimate is its share of the global
         # forecast (the paper's lambda_hat_i = gamma_i * lambda_hat_g),
         # so gamma reassignments do not read as workload swings to the
@@ -1085,6 +1249,12 @@ class ClusterSimulation:
         if state.result is not None:
             return state.result
         if state.pool is not None:
+            if self.metrics is not None:
+                for worker, payload in state.pool.collect_metrics().items():
+                    if payload is not None:
+                        self.metrics.merge(
+                            payload, extra_labels={"worker": str(worker)}
+                        )
             finals_by_module = state.pool.finalize()
             state.pool.shutdown()
             state.pool = None
@@ -1273,6 +1443,10 @@ class _ClusterRunState:
     interval_global: float = 0.0
     k: int = 0
     result: "ClusterRunResult | None" = None
+    #: Cumulative L0-bank wall/states already attributed to emitted
+    #: l0-bank spans (serial tracing only; lazily sized per runner).
+    l0_wall_marks: "list | None" = None
+    l0_states_marks: "list | None" = None
 
     def module_queue_lengths(self) -> "list[np.ndarray]":
         """Per-module plant queue vectors at the current period boundary."""

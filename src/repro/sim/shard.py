@@ -406,23 +406,62 @@ class ModuleShardRunner:
 
 
 def _shard_worker_main(conn) -> None:
-    """Worker process loop: host runners, serve period requests."""
+    """Worker process loop: host runners, serve period requests.
+
+    When the parent asked for metric collection at init, the worker
+    keeps a private :class:`~repro.obs.registry.MetricsRegistry` of
+    request counters and timings; the parent pulls its snapshot with
+    the ``metrics`` command and merges it under a ``worker`` label.
+    Collection is off for batch runs, so the request loop stays free of
+    clock reads by default.
+    """
     runners: "dict[int, ModuleShardRunner]" = {}
+    registry = None
     try:
         while True:
             command, payload = conn.recv()
             if command == "init":
-                runners = {runner.module_index: runner for runner in payload}
+                group, collect_metrics = payload
+                runners = {runner.module_index: runner for runner in group}
+                if collect_metrics:
+                    from repro.obs.registry import MetricsRegistry
+
+                    registry = MetricsRegistry()
                 conn.send(("ok", None))
             elif command == "run_period":
+                started = time.perf_counter() if registry is not None else 0.0
                 outputs = {
                     index: runners[index].run_period(period)
                     for index, period in payload.items()
                 }
+                if registry is not None:
+                    elapsed = time.perf_counter() - started
+                    registry.counter(
+                        "repro_shard_requests_total",
+                        "Period requests served by this worker.",
+                    ).inc()
+                    registry.counter(
+                        "repro_shard_periods_total",
+                        "Module-periods executed by this worker.",
+                    ).inc(len(payload))
+                    registry.counter(
+                        "repro_shard_steps_total",
+                        "Module-steps executed by this worker.",
+                    ).inc(
+                        sum(len(period.steps) for period in payload.values())
+                    )
+                    registry.histogram(
+                        "repro_shard_request_seconds",
+                        "Wall time per period request in this worker.",
+                    ).observe(elapsed)
                 conn.send(("ok", outputs))
             elif command == "finalize":
                 conn.send(
                     ("ok", {i: r.finalize() for i, r in runners.items()})
+                )
+            elif command == "metrics":
+                conn.send(
+                    ("ok", None if registry is None else registry.to_dict())
                 )
             elif command == "stop":
                 conn.send(("ok", None))
@@ -466,6 +505,7 @@ class ShardWorkerPool:
         runners: "list[ModuleShardRunner]",
         shard_workers: "int | None",
         request_timeout: "float | None" = DEFAULT_REQUEST_TIMEOUT,
+        collect_metrics: bool = False,
     ) -> None:
         if not runners:
             raise ConfigurationError("shard pool needs at least one module runner")
@@ -499,7 +539,9 @@ class ShardWorkerPool:
                 self._connections.append(parent_conn)
                 self._processes.append(process)
             for worker, group in enumerate(groups):
-                self._connections[worker].send(("init", group))
+                self._connections[worker].send(
+                    ("init", (group, collect_metrics))
+                )
             for worker in range(self.workers):
                 self._receive(worker)
         except Exception:
@@ -547,6 +589,14 @@ class ShardWorkerPool:
         for worker in requests:
             outputs.update(self._receive(worker))
         return outputs
+
+    def collect_metrics(self) -> "dict[int, dict | None]":
+        """Pull every worker's metrics snapshot (None when not collecting)."""
+        for connection in self._connections:
+            connection.send(("metrics", None))
+        return {
+            worker: self._receive(worker) for worker in range(self.workers)
+        }
 
     def finalize(self) -> "dict[int, ModuleFinalization]":
         """Collect every module's run aggregates."""

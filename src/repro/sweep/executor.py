@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Iterator
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import require_positive_int
+from repro.obs.registry import global_registry
 from repro.scenario.spec import ScenarioSpec
 from repro.sweep.spec import SweepPoint, SweepSpec
 from repro.sweep.store import ResultStore
@@ -184,6 +185,17 @@ def run_sweep(
         row = store.append(point, summary)
         if on_run is not None:
             on_run(point, row.metrics)
+    registry = global_registry()
+    registry.counter(
+        "repro_sweep_campaigns_total", "Sweep campaigns executed."
+    ).inc()
+    registry.counter(
+        "repro_sweep_runs_executed_total", "Sweep runs actually executed."
+    ).inc(len(pending))
+    registry.counter(
+        "repro_sweep_runs_skipped_total",
+        "Sweep runs skipped because the store already held them.",
+    ).inc(len(points) - len(pending))
     return SweepRunReport(
         sweep=sweep.name,
         total=len(points),

@@ -1,0 +1,145 @@
+"""Registry semantics: handles, families, snapshots, cross-process merge."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs import Histogram, MetricsRegistry, global_registry
+
+
+class TestHandles:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", "help", level="l1")
+        b = registry.counter("repro_x_total", level="l1")
+        assert a is b
+        c = registry.counter("repro_x_total", level="l2")
+        assert c is not a
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("repro_x_total")
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("bad name")
+        with pytest.raises(ConfigurationError):
+            registry.counter("ok_name", **{"bad-label": "x"})
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("repro_x_total").inc(-1)
+
+    def test_global_registry_is_singleton(self):
+        assert global_registry() is global_registry()
+
+
+class TestHistogram:
+    def test_buckets_and_moments(self):
+        histogram = Histogram(buckets=(0.1, 1.0), quantiles=(0.5,))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(6.05)
+        assert histogram.min == 0.05
+        assert histogram.max == 5.0
+        assert histogram.bucket_counts == [1, 2, 1]  # le 0.1, le 1.0, +Inf
+
+    def test_bucket_edges_are_le(self):
+        histogram = Histogram(buckets=(1.0,), quantiles=())
+        histogram.observe(1.0)
+        assert histogram.bucket_counts == [1, 0]
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=(1.0, 0.5))
+
+    def test_untracked_quantile_raises(self):
+        histogram = Histogram(quantiles=(0.5,))
+        with pytest.raises(ConfigurationError):
+            histogram.quantile(0.9)
+
+
+class TestMerge:
+    def test_worker_merge_is_exact_on_moments(self):
+        """Two 'worker' registries fold into a parent bit-exactly."""
+        rng = np.random.default_rng(2)
+        workers = []
+        all_values = []
+        for _ in range(2):
+            registry = MetricsRegistry()
+            registry.counter("repro_w_total").inc(10)
+            histogram = registry.histogram("repro_lat_seconds")
+            values = rng.exponential(0.1, size=500)
+            all_values.append(values)
+            for value in values:
+                histogram.observe(value)
+            workers.append(registry)
+
+        parent = MetricsRegistry()
+        for i, worker in enumerate(workers):
+            parent.merge(worker.to_dict(), extra_labels={"worker": str(i)})
+
+        # With the worker label, each stream stays separate and exact.
+        combined = np.concatenate(all_values)
+        for i, values in enumerate(all_values):
+            histogram = parent.histogram("repro_lat_seconds", worker=str(i))
+            assert histogram.count == len(values)
+            assert histogram.sum == pytest.approx(values.sum())
+            assert histogram.min == values.min()
+            assert histogram.max == values.max()
+            counter = parent.counter("repro_w_total", worker=str(i))
+            assert counter.value == 10.0
+
+        # Without the label, streams sum into one series.
+        total = MetricsRegistry()
+        for worker in workers:
+            total.merge(worker.to_dict())
+        histogram = total.histogram("repro_lat_seconds")
+        assert histogram.count == len(combined)
+        assert histogram.sum == pytest.approx(combined.sum())
+        # Merged sketches are approximate but must stay in range and
+        # close to the exact percentile on this smooth distribution.
+        estimate = histogram.quantile(0.9)
+        exact = float(np.percentile(combined, 90))
+        assert combined.min() <= estimate <= combined.max()
+        assert estimate == pytest.approx(exact, rel=0.25)
+
+    def test_gauge_merge_last_wins(self):
+        parent = MetricsRegistry()
+        parent.gauge("repro_queue_length").set(3.0)
+        incoming = MetricsRegistry()
+        incoming.gauge("repro_queue_length").set(7.0)
+        parent.merge(incoming.to_dict())
+        assert parent.gauge("repro_queue_length").value == 7.0
+
+    def test_mismatched_buckets_rejected(self):
+        parent = MetricsRegistry()
+        parent.histogram("repro_h", buckets=(1.0,))
+        incoming = MetricsRegistry()
+        incoming.histogram("repro_h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            parent.merge(incoming.to_dict())
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "a").inc(2)
+        registry.gauge("repro_b", "b", module="0").set(1.5)
+        registry.histogram("repro_c_seconds", "c").observe(0.2)
+        payload = json.loads(json.dumps(registry.to_dict()))
+        clone = MetricsRegistry()
+        clone.merge(payload)
+        assert clone.counter("repro_a_total").value == 2.0
+        assert clone.histogram("repro_c_seconds").count == 1
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc()
+        registry.reset()
+        assert registry.to_dict() == {}
