@@ -22,7 +22,7 @@ import pytest
 
 from repro.cluster import paper_module_spec
 from repro.controllers import L1Controller
-from repro.sim.experiments import cluster_experiment, module_experiment
+from repro.scenario import Scenario, run_scenario
 
 FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
 
@@ -72,15 +72,25 @@ def behavior_maps():
 @pytest.fixture(scope="session")
 def fig4_result(behavior_maps):
     """The §4.3 module experiment at full span (Figs. 4 and 5)."""
-    return module_experiment(
-        m=4, l1_samples=FIG4_SAMPLES, seed=0, behavior_maps=behavior_maps
+    scenario = (
+        Scenario.module(m=4)
+        .workload("synthetic", samples=FIG4_SAMPLES)
+        .seed(0)
+        .build()
     )
+    return run_scenario(scenario, behavior_maps=behavior_maps)
 
 
 @pytest.fixture(scope="session")
 def fig6_result():
     """The §5.2 sixteen-computer cluster experiment (Figs. 6 and 7)."""
-    return cluster_experiment(p=4, samples=FIG6_SAMPLES, seed=0)
+    scenario = (
+        Scenario.cluster(p=4)
+        .workload("wc98", samples=FIG6_SAMPLES)
+        .seed(0)
+        .build()
+    )
+    return run_scenario(scenario)
 
 
 @pytest.fixture(scope="session")

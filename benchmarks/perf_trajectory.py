@@ -55,8 +55,17 @@ DEFAULT_BUDGET = 1.8
 DEFAULT_RSS_BUDGET = 2.0
 
 
-def series_path(scenario: str, directory: "Path | None" = None) -> Path:
+def series_path(
+    scenario: str,
+    directory: "Path | None" = None,
+    kernel: str = "scalar",
+) -> Path:
     slug = scenario.replace("/", "-")
+    if kernel != "scalar":
+        # Kernels have different cost structures; comparing a vector
+        # measurement against the scalar history (or vice versa) would
+        # make the gate meaningless, so each kernel gets its own series.
+        slug = f"{slug}--{kernel}"
     return (directory or TRAJECTORY_DIR) / f"BENCH_{slug}.json"
 
 
@@ -79,12 +88,14 @@ def append_entry(path: Path, entry: dict) -> "list[dict]":
 # ----------------------------------------------------------------------
 
 
-def _child(scenario: str, samples: int) -> int:
+def _child(scenario: str, samples: int, kernel: str = "scalar") -> int:
     """Run one measurement in this (fresh) interpreter; print JSON."""
     t0 = time.perf_counter()
     from repro.scenario import build_simulation, get_scenario
 
     spec = get_scenario(scenario, samples=samples)
+    if kernel != "scalar":
+        spec = spec.with_overrides(**{"control.kernel": kernel})
     simulation = build_simulation(spec)
     startup_seconds = time.perf_counter() - t0
 
@@ -107,7 +118,9 @@ def _child(scenario: str, samples: int) -> int:
     return 0
 
 
-def measure(scenario: str, samples: int, repeats: int = 2) -> dict:
+def measure(
+    scenario: str, samples: int, repeats: int = 2, kernel: str = "scalar"
+) -> dict:
     """Best-of-``repeats`` measurement, each in a fresh subprocess.
 
     Best-of (not mean) is the right statistic for a regression gate:
@@ -125,6 +138,8 @@ def measure(scenario: str, samples: int, repeats: int = 2) -> dict:
                 scenario,
                 "--samples",
                 str(samples),
+                "--kernel",
+                kernel,
             ],
             capture_output=True,
             text=True,
@@ -136,6 +151,7 @@ def measure(scenario: str, samples: int, repeats: int = 2) -> dict:
         "scenario": scenario,
         "samples": samples,
         "repeats": repeats,
+        "kernel": kernel,
         "recorded_at": datetime.datetime.now(datetime.timezone.utc)
         .isoformat(timespec="seconds"),
         **best,
@@ -210,6 +226,9 @@ def main(argv: "list[str] | None" = None) -> int:
         sub = commands.add_parser(name, help=help_text)
         sub.add_argument("--scenario", default="paper/fig4-module4")
         sub.add_argument("--samples", type=int, default=None)
+        sub.add_argument(
+            "--kernel", choices=("scalar", "vector"), default="scalar"
+        )
         return sub
 
     add("child", "internal: one measurement in this interpreter")
@@ -233,15 +252,17 @@ def main(argv: "list[str] | None" = None) -> int:
         samples = TRACKED.get(args.scenario, 200)
 
     if args.command == "child":
-        return _child(args.scenario, samples)
+        return _child(args.scenario, samples, kernel=args.kernel)
 
-    entry = measure(args.scenario, samples, repeats=args.repeats)
+    entry = measure(
+        args.scenario, samples, repeats=args.repeats, kernel=args.kernel
+    )
     print(json.dumps(entry, indent=2, sort_keys=True))
 
     if args.command == "measure":
         return 0
 
-    path = series_path(args.scenario, args.trajectory_dir)
+    path = series_path(args.scenario, args.trajectory_dir, kernel=args.kernel)
     if args.command == "record":
         series = append_entry(path, entry)
         print(f"recorded entry {len(series)} -> {path}")

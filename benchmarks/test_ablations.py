@@ -17,15 +17,20 @@ import os
 import numpy as np
 
 from repro.controllers import L0Params, L1Params
-from repro.sim.experiments import module_experiment
+from repro.scenario import Scenario, run_scenario
 
 SAMPLES = 120 if os.environ.get("REPRO_BENCH_FAST") else 480
 
 
 def _run(behavior_maps, seed=0, l0=None, l1=None):
-    return module_experiment(
-        m=4, l1_samples=SAMPLES, seed=seed,
-        behavior_maps=behavior_maps, l0_params=l0, l1_params=l1,
+    scenario = (
+        Scenario.module(m=4)
+        .workload("synthetic", samples=SAMPLES)
+        .seed(seed)
+        .build()
+    )
+    return run_scenario(
+        scenario, behavior_maps=behavior_maps, l0_params=l0, l1_params=l1
     ).summary()
 
 

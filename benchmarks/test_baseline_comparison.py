@@ -20,27 +20,36 @@ from repro.controllers import (
     ThresholdDvfsController,
     ThresholdOnOffController,
 )
-from repro.sim.experiments import module_experiment
+from repro.scenario import Scenario, run_scenario
 
 SAMPLES = 120 if os.environ.get("REPRO_BENCH_FAST") else 720
+
+
+def _module_scenario():
+    return (
+        Scenario.module(m=4)
+        .workload("synthetic", samples=SAMPLES)
+        .seed(0)
+        .build()
+    )
 
 
 def test_baseline_comparison(benchmark, report, behavior_maps):
     spec = paper_module_spec()
     runs = {}
-    runs["llc-hierarchy"] = module_experiment(
-        m=4, l1_samples=SAMPLES, seed=0, behavior_maps=behavior_maps
+    runs["llc-hierarchy"] = run_scenario(
+        _module_scenario(), behavior_maps=behavior_maps
     )
-    runs["threshold-on/off"] = module_experiment(
-        m=4, l1_samples=SAMPLES, seed=0,
+    runs["threshold-on/off"] = run_scenario(
+        _module_scenario(),
         baseline=ThresholdOnOffController(paper_module_spec()),
     )
-    runs["threshold+dvfs"] = module_experiment(
-        m=4, l1_samples=SAMPLES, seed=0,
+    runs["threshold+dvfs"] = run_scenario(
+        _module_scenario(),
         baseline=ThresholdDvfsController(paper_module_spec()),
     )
-    runs["always-on-max"] = module_experiment(
-        m=4, l1_samples=SAMPLES, seed=0,
+    runs["always-on-max"] = run_scenario(
+        _module_scenario(),
         baseline=AlwaysOnMaxController(paper_module_spec()),
     )
 

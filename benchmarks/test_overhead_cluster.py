@@ -15,14 +15,16 @@ exponentially larger search space.
 
 import os
 
-from repro.sim.experiments import cluster_experiment
+from repro.scenario import Scenario, run_scenario
 
 SAMPLES = 60 if os.environ.get("REPRO_BENCH_FAST") else 200
 
 
 def test_overhead_cluster_path(benchmark, report, fig6_result):
     sixteen = fig6_result
-    twenty = cluster_experiment(p=5, samples=SAMPLES, seed=0)
+    twenty = run_scenario(
+        Scenario.cluster(p=5).workload("wc98", samples=SAMPLES).seed(0).build()
+    )
 
     path16 = sixteen.hierarchy_path_seconds()
     path20 = twenty.hierarchy_path_seconds()

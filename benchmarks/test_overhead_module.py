@@ -33,7 +33,7 @@ def test_overhead_module_size(benchmark, report, m, behavior_maps):
     _REPORTS[m] = measurement
 
     # Kernel: one module control period at size m, with the same search
-    # bounds module_experiment uses (coarser for larger m, per the paper).
+    # bounds the module scenarios use (coarser for larger m, per the paper).
     spec = scaled_module_spec(m)
     if m == 4:
         params = L1Params(gamma_step=0.05)

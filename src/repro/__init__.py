@@ -75,7 +75,8 @@ seeds and sizes — go through the sweep subsystem::
     print(write_report("out/seeds"))
 
 The pre-1.1 entry points (``module_experiment``, ``cluster_experiment``)
-remain as deprecated shims over ``run_scenario``.
+are retired; calling them raises a ``ConfigurationError`` naming the
+``run_scenario`` replacement.
 """
 
 from repro.cluster import (
@@ -113,11 +114,10 @@ from repro.scenario import (
 )
 from repro.sim import (
     ClusterSimulation,
+    EngineOptions,
     ModuleSimulation,
     SimulationObserver,
     SimulationOptions,
-    cluster_experiment,
-    module_experiment,
     overhead_experiment,
 )
 from repro.maps import MapCache, MapProvider, TrainingPlan, map_stats
@@ -143,6 +143,7 @@ __all__ = [
     "ClusterSpec",
     "ComputerSpec",
     "ControlSpec",
+    "EngineOptions",
     "FaultSpec",
     "GridAxis",
     "L0Controller",
@@ -167,14 +168,12 @@ __all__ = [
     "ThresholdDvfsController",
     "ThresholdOnOffController",
     "WorkloadSpec",
-    "cluster_experiment",
     "get_scenario",
     "get_sweep",
     "list_scenarios",
     "list_sweeps",
     "make_baseline",
     "map_stats",
-    "module_experiment",
     "overhead_experiment",
     "paper_cluster_spec",
     "paper_module_spec",

@@ -134,6 +134,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
             overrides["control.execution"] = "sharded"
     if args.execution is not None:
         overrides["control.execution"] = args.execution
+    if args.kernel is not None:
+        overrides["control.kernel"] = args.kernel
     if args.window is not None:
         overrides["control.window"] = args.window
     if args.map_cache is not None:
@@ -597,6 +599,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-workers", type=int, default=None, metavar="N",
         help="cap the sharded worker-process count (implies --execution "
         "sharded; default one worker per module)",
+    )
+    run.add_argument(
+        "--kernel", choices=("scalar", "vector"), default=None,
+        help="control-period kernel (vector = numpy-batched hot loops; "
+        "deterministic metrics bit-identical to scalar)",
     )
     run.add_argument(
         "--window", type=int, default=None, metavar="N",

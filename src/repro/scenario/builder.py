@@ -168,6 +168,16 @@ class Scenario:
         self._control = replace(self._control, **updates)
         return self
 
+    def kernel(self, name: str) -> "Scenario":
+        """Select the control-period kernel: ``"scalar"`` or ``"vector"``.
+
+        ``vector`` batches the hot loops (L0 bank lookahead, map
+        queries, baseline-cluster substeps) with numpy; deterministic
+        summary metrics are bit-identical to the scalar reference path.
+        """
+        self._control = replace(self._control, kernel=name)
+        return self
+
     def window(self, steps: int) -> "Scenario":
         """Bound recorder memory to the last ``steps`` T_L0 steps.
 

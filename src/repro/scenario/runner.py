@@ -8,10 +8,10 @@ along on the engine's hook interface.
 
 Runtime-only objects that cannot live in a declarative spec — trained
 behaviour maps, pre-built baseline controller instances, parameter
-dataclasses — can be supplied as keyword overrides; the legacy
-``module_experiment``/``cluster_experiment`` shims use exactly that path,
-which is why a shim call and the equivalent scenario produce bit-for-bit
-identical results.
+dataclasses — can be supplied as keyword overrides. The retired
+``module_experiment``/``cluster_experiment`` wrappers used exactly that
+path, which is why migrating a call site to the equivalent scenario
+produces bit-for-bit identical results.
 """
 
 from __future__ import annotations
@@ -29,6 +29,7 @@ from repro.maps.provider import MapProvider
 from repro.maps.stats import MAP_STATS
 from repro.scenario.spec import ScenarioSpec
 from repro.sim.engine import ClusterSimulation, ModuleSimulation, SimulationOptions
+from repro.sim.options import EngineOptions
 from repro.sim.observers import SimulationObserver
 from repro.sim.results import ClusterRunResult, ModuleRunResult
 from repro.workload.trace import ArrivalTrace
@@ -274,6 +275,7 @@ def build_simulation(
             options=options,
             failure_events=scenario.faults.events,
             map_cache=control.map_cache or env_cache_dir(),
+            engine_options=EngineOptions(kernel=control.kernel),
         )
 
     if baseline is not None:
@@ -298,6 +300,7 @@ def build_simulation(
         failure_events=scenario.faults.events,
         work_series=work_series,
         map_cache=control.map_cache or env_cache_dir(),
+        engine_options=EngineOptions(kernel=control.kernel),
     )
 
 

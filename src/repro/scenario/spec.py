@@ -29,6 +29,7 @@ from repro.common.validation import (
 )
 from repro.controllers.baselines import BASELINES
 from repro.controllers.params import L0Params, L1Params, L2Params
+from repro.sim.options import KERNELS
 from repro.sim.shard import EXECUTION_MODES
 
 #: Plant families a scenario can instantiate.
@@ -237,6 +238,12 @@ class ControlSpec:
     :class:`~repro.sim.results.RunSummary` is bit-identical to the full
     recorder's. ``None`` (the default) records the whole horizon.
 
+    ``kernel`` selects the control-period kernel
+    (:data:`~repro.sim.options.KERNELS`): ``"scalar"`` is the
+    pure-Python reference path; ``"vector"`` batches the hot loops with
+    numpy — bit-identical summaries, selectable per run and carried by
+    the spec so serial and sharded backends agree.
+
     ``map_cache`` names a directory for the trained-map artifact cache
     (:mod:`repro.maps`): the offline-learned behaviour/cost maps are
     stored there content-addressed, so repeated runs, sweep workers,
@@ -258,10 +265,12 @@ class ControlSpec:
     shard_workers: int | None = None
     window: int | None = None
     map_cache: str | None = None
+    kernel: str = "scalar"
 
     def __post_init__(self) -> None:
         modes = (HIERARCHY_MODE, *BASELINES)
         require_in(self.mode, modes, "control.mode")
+        require_in(self.kernel, KERNELS, "control.kernel")
         if self.baseline_params and self.mode == HIERARCHY_MODE:
             raise ConfigurationError(
                 "control.baseline_params given but control.mode is 'hierarchy'"

@@ -9,18 +9,15 @@ composes several modules under an L2 controller (Fig. 2a) — or, with
 
 Both follow a stepwise protocol (``reset``/``step``/``advance_period``/
 ``finish``) with observer hooks (:mod:`~repro.sim.observers`); results
-come back as structured time series (:mod:`~repro.sim.results`).
-The deprecated :mod:`~repro.sim.experiments` wrappers shim the paper's
-§4.3/§5.2 configurations onto the scenario API.
+come back as structured time series (:mod:`~repro.sim.results`). Per-run
+knobs — the control-period kernel among them — travel in
+:class:`~repro.sim.options.EngineOptions`.
 """
 
 from repro.sim.des import DiscreteEventModuleSimulation, DiscreteEventRunResult
 from repro.sim.engine import ClusterSimulation, ModuleSimulation, SimulationOptions
-from repro.sim.experiments import (
-    cluster_experiment,
-    module_experiment,
-    overhead_experiment,
-)
+from repro.sim.experiments import overhead_experiment
+from repro.sim.options import KERNELS, EngineOptions
 from repro.sim.observers import (
     HookCounter,
     L1DecisionEvent,
@@ -41,10 +38,12 @@ from repro.sim.shard import (
 
 __all__ = [
     "EXECUTION_MODES",
+    "KERNELS",
     "ClusterRunResult",
     "ClusterSimulation",
     "DiscreteEventModuleSimulation",
     "DiscreteEventRunResult",
+    "EngineOptions",
     "HookCounter",
     "L1DecisionEvent",
     "L2DecisionEvent",
@@ -59,8 +58,6 @@ __all__ = [
     "SimulationObserver",
     "SimulationOptions",
     "StepEvent",
-    "cluster_experiment",
-    "module_experiment",
     "overhead_experiment",
     "resolve_shard_workers",
 ]

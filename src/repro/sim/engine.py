@@ -65,6 +65,7 @@ from repro.sim.observers import (
     SimulationObserver,
     StepEvent,
 )
+from repro.sim.options import EngineOptions, resolve_engine_options
 from repro.sim.results import ClusterRunResult, ModuleRunResult, RunSummary
 from repro.sim.shard import (
     EXECUTION_MODES,
@@ -110,11 +111,13 @@ class ModuleSimulation:
         options: SimulationOptions | None = None,
         failure_events: "tuple[tuple[float, int, str], ...]" = (),
         map_cache=None,
+        engine_options: "EngineOptions | None" = None,
     ) -> None:
         self.spec = spec
         self.l0_params = l0_params or L0Params()
         self.l1_params = l1_params or L1Params()
         self.options = options or SimulationOptions()
+        self.engine_options = resolve_engine_options(engine_options)
         self.trace = trace.rebinned(self.l0_params.period)
         self.substeps = round(self.l1_params.period / self.l0_params.period)
         if self.substeps < 1:
@@ -134,12 +137,16 @@ class ModuleSimulation:
                 # computers share one map, repeated constructions reuse
                 # the process memo, and ``map_cache`` persists the
                 # artifacts across processes and runs.
-                behavior_maps = MapProvider(cache=map_cache).behavior_maps(
+                provider = self.engine_options.map_provider or MapProvider(
+                    cache=map_cache
+                )
+                behavior_maps = provider.behavior_maps(
                     spec, self.l0_params, self.l1_params
                 )
             self.l1: L1Controller | None = L1Controller(
                 spec, behavior_maps, self.l1_params, self.l0_params
             )
+            self.l1.kernel = self.engine_options.kernel
             self.l0s = [L0Controller(c, self.l0_params) for c in spec.computers]
         else:
             self.l1 = None
@@ -149,14 +156,41 @@ class ModuleSimulation:
         if work_series.size != len(self.trace):
             raise ConfigurationError("work_series must align with the trace bins")
         self.work_series = work_series
-        #: Live-service seams (batch runs leave both at their defaults,
-        #: which skips every related branch and clock read).
-        self.decision_deadline: "float | None" = None
         self.module_overrides: "dict[int, int]" = {}
-        #: Telemetry seams (same zero-cost contract; see set_telemetry).
-        self.metrics = None
-        self.tracer = None
+        self._l0_kernel = None
         self._state: "_ModuleRunState | None" = None
+
+    @property
+    def kernel(self) -> str:
+        """The control-period kernel this run executes on."""
+        return self.engine_options.kernel
+
+    @property
+    def decision_deadline(self) -> "float | None":
+        """Per-decision wall-time budget (see :meth:`set_decision_deadline`)."""
+        return self.engine_options.decision_deadline
+
+    @decision_deadline.setter
+    def decision_deadline(self, seconds: "float | None") -> None:
+        self.engine_options.decision_deadline = seconds
+
+    @property
+    def metrics(self):
+        """Attached metrics registry (see :meth:`set_telemetry`)."""
+        return self.engine_options.metrics
+
+    @metrics.setter
+    def metrics(self, value) -> None:
+        self.engine_options.metrics = value
+
+    @property
+    def tracer(self):
+        """Attached decision tracer (see :meth:`set_telemetry`)."""
+        return self.engine_options.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.engine_options.tracer = value
 
     @property
     def module_controller(self):
@@ -174,12 +208,10 @@ class ModuleSimulation:
         A decision that overruns is discarded: the previous alpha/gamma
         stay in force and the emitted :class:`L1DecisionEvent` carries
         ``held=True``. ``None`` (the default) disables the budget.
+
+        Thin delegate to :class:`~repro.sim.options.EngineOptions`.
         """
-        if seconds is not None and not seconds > 0:
-            raise ConfigurationError(
-                f"decision deadline must be positive or None, got {seconds!r}"
-            )
-        self.decision_deadline = None if seconds is None else float(seconds)
+        self.engine_options.set_decision_deadline(seconds)
 
     def set_module_override(self, module: int, on: "int | None") -> None:
         """Pin (or with ``on=None`` release) the module's machines-on count.
@@ -216,9 +248,10 @@ class ModuleSimulation:
         per L1 decision and per period's L0 bank. ``None`` (the
         default) detaches and skips every related branch and clock
         read, so batch runs stay byte-identical.
+
+        Thin delegate to :class:`~repro.sim.options.EngineOptions`.
         """
-        self.metrics = metrics
-        self.tracer = tracer
+        self.engine_options.set_telemetry(metrics, tracer)
 
     @property
     def total_steps(self) -> int:
@@ -261,6 +294,10 @@ class ModuleSimulation:
             pending_events=list(self.failure_events),
         )
         self._tune_predictor(self.module_controller, state.fine_predictor)
+        if self.kernel == "vector" and self.l0s and self._l0_kernel is None:
+            from repro.sim.kernels import L0BankKernel
+
+            self._l0_kernel = L0BankKernel(self.l0s)
         self._state = state
         state.sink.on_run_start(self)
         return self
@@ -395,15 +432,34 @@ class ModuleSimulation:
                 state.fine_predictor.forecast(self.l0_params.horizon)
                 / self.l0_params.period
             )
-            for j, (computer, l0) in enumerate(zip(plant.computers, self.l0s)):
-                if computer.is_serving:
-                    freq = l0.decide(
-                        computer.queue_length,
-                        state.gamma[j] * module_forecast,
-                        l0.work_estimate,
+            if self._l0_kernel is not None:
+                serving = [
+                    j for j, c in enumerate(plant.computers) if c.is_serving
+                ]
+                if serving:
+                    decisions = self._l0_kernel.decide_many(
+                        serving,
+                        [plant.computers[j].queue_length for j in serving],
+                        [state.gamma[j] * module_forecast for j in serving],
+                        [self.l0s[j].work_estimate for j in serving],
                     )
-                    computer.set_frequency_index(freq.frequency_index)
-                freq_row[j] = computer.frequency_ghz
+                    for j, decided in zip(serving, decisions):
+                        plant.computers[j].set_frequency_index(
+                            decided.frequency_index
+                        )
+                freq_row[:] = [c.frequency_ghz for c in plant.computers]
+            else:
+                for j, (computer, l0) in enumerate(
+                    zip(plant.computers, self.l0s)
+                ):
+                    if computer.is_serving:
+                        freq = l0.decide(
+                            computer.queue_length,
+                            state.gamma[j] * module_forecast,
+                            l0.work_estimate,
+                        )
+                        computer.set_frequency_index(freq.frequency_index)
+                    freq_row[j] = computer.frequency_ghz
         else:
             freq_row[:] = [c.frequency_ghz for c in plant.computers]
 
@@ -635,12 +691,14 @@ class ClusterSimulation:
         failure_events: "tuple[tuple[float, int, int, str], ...]" = (),
         work_series: np.ndarray | None = None,
         map_cache=None,
+        engine_options: "EngineOptions | None" = None,
     ) -> None:
         self.spec = spec
         self.l0_params = l0_params or L0Params()
         self.l1_params = l1_params or L1Params()
         self.l2_params = l2_params or L2Params()
         self.options = options or SimulationOptions()
+        self.engine_options = resolve_engine_options(engine_options)
         self.trace = trace.rebinned(self.l0_params.period)
         if work_series is not None and work_series.size != len(self.trace):
             raise ConfigurationError(
@@ -686,13 +744,7 @@ class ClusterSimulation:
         self.baselines: "list[_BaselineBase] | None" = None
         self._behavior_maps: list[list[ComputerBehaviorMap]] = []
         self.module_maps: list[ModuleCostMap] = []
-        #: Live-service seams (batch runs leave both at their defaults,
-        #: which skips every related branch and clock read).
-        self.decision_deadline: "float | None" = None
         self.module_overrides: "dict[int, int]" = {}
-        #: Telemetry seams (same zero-cost contract; see set_telemetry).
-        self.metrics = None
-        self.tracer = None
         self._state: "_ClusterRunState | None" = None
         if baseline is not None:
             if callable(baseline):
@@ -725,7 +777,9 @@ class ClusterSimulation:
         # modules share instances within this simulation, and
         # ``map_cache`` persists the artifacts across processes and runs
         # (shard/sweep workers receive trained maps, never retrain).
-        provider = MapProvider(cache=map_cache)
+        provider = self.engine_options.map_provider or MapProvider(
+            cache=map_cache
+        )
         for module_spec in spec.modules:
             self._behavior_maps.append(
                 provider.behavior_maps(
@@ -744,6 +798,38 @@ class ClusterSimulation:
                 raise ConfigurationError("need one module map per module")
             self.module_maps = list(module_maps)
         self.l2 = L2Controller(self.module_maps, self.l2_params)
+
+    @property
+    def kernel(self) -> str:
+        """The control-period kernel this run executes on."""
+        return self.engine_options.kernel
+
+    @property
+    def decision_deadline(self) -> "float | None":
+        """Per-boundary wall-time budget (see :meth:`set_decision_deadline`)."""
+        return self.engine_options.decision_deadline
+
+    @decision_deadline.setter
+    def decision_deadline(self, seconds: "float | None") -> None:
+        self.engine_options.decision_deadline = seconds
+
+    @property
+    def metrics(self):
+        """Attached metrics registry (see :meth:`set_telemetry`)."""
+        return self.engine_options.metrics
+
+    @metrics.setter
+    def metrics(self, value) -> None:
+        self.engine_options.metrics = value
+
+    @property
+    def tracer(self):
+        """Attached decision tracer (see :meth:`set_telemetry`)."""
+        return self.engine_options.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.engine_options.tracer = value
 
     @property
     def total_steps(self) -> int:
@@ -775,12 +861,10 @@ class ClusterSimulation:
         ``held=True``); an L1 that individually blows the remaining
         budget holds just its module. ``None`` (the default) disables
         the budget and skips every clock read.
+
+        Thin delegate to :class:`~repro.sim.options.EngineOptions`.
         """
-        if seconds is not None and not seconds > 0:
-            raise ConfigurationError(
-                f"decision deadline must be positive or None, got {seconds!r}"
-            )
-        self.decision_deadline = None if seconds is None else float(seconds)
+        self.engine_options.set_decision_deadline(seconds)
 
     def set_module_override(self, module: int, on: "int | None") -> None:
         """Pin (or with ``on=None`` release) one module's machines-on count.
@@ -823,9 +907,10 @@ class ClusterSimulation:
         parent-side L2 spans only (module state lives in the workers).
         ``None`` (the default) detaches and skips every related branch
         and clock read, so batch runs stay byte-identical.
+
+        Thin delegate to :class:`~repro.sim.options.EngineOptions`.
         """
-        self.metrics = metrics
-        self.tracer = tracer
+        self.engine_options.set_telemetry(metrics, tracer)
 
     # ------------------------------------------------------------------
     # Stepwise protocol
@@ -852,6 +937,8 @@ class ClusterSimulation:
                 )
                 for module_spec, maps in zip(self.spec.modules, self._behavior_maps)
             ]
+            for l1 in l1s:
+                l1.kernel = self.kernel
             l0_banks = [
                 [L0Controller(c, self.l0_params) for c in s.computers]
                 for s in self.spec.modules
@@ -890,6 +977,7 @@ class ClusterSimulation:
                     for time, module_index, computer, kind in self.failure_events
                     if module_index == i
                 ),
+                kernel=self.kernel,
             )
             for i in range(p)
         ]
@@ -917,6 +1005,20 @@ class ClusterSimulation:
             # The parent's runner copies must not be touched again: the
             # authoritative module state now lives in the workers.
             state.runners = None
+        elif self.kernel == "vector" and self.baselines is not None:
+            # Serial baseline periods are pure plant work (no L1/L0
+            # decisions mid-period), so the whole cluster's substeps can
+            # advance as (modules, computers) arrays. Boundary decisions
+            # stay on the scalar objects; pull/flush keep the two views
+            # in sync. (Sharded baseline workers keep the scalar step —
+            # results are bit-identical either way.)
+            from repro.sim.kernels import ClusterVectorExecutor
+
+            state.vector_executor = ClusterVectorExecutor(
+                runners,
+                self.l0_params.period,
+                target_response=self.l0_params.target_response,
+            )
         self._state = state
         state.sink.on_run_start(self)
         return self
@@ -981,8 +1083,14 @@ class ClusterSimulation:
 
     def _step_serial(self, state: "_ClusterRunState") -> "list[StepEvent]":
         k = state.k
+        vector = state.vector_executor
         if k % self.substeps == 0:
-            l2_event, boundaries = self._parent_boundary(state, k)
+            if vector is not None:
+                vector.flush(full=False)
+                self._vector_baseline_observe(state, k)
+            l2_event, boundaries = self._parent_boundary(
+                state, k, observed_consumed=vector is not None
+            )
             state.sink.on_l2_decision(l2_event)
             metrics = self.metrics
             tracer = self.tracer
@@ -1015,12 +1123,104 @@ class ClusterSimulation:
                             forced=event.forced,
                         )
                 state.sink.on_l1_decision(event)
+            if vector is not None:
+                vector.pull()
+        if vector is not None:
+            events = vector.step_all(*self._parent_step_vector(state, k))
+            dispatch = state.vector_step_dispatch
+            if dispatch is None:
+                dispatch = self._build_step_dispatch(state, vector)
+                state.vector_step_dispatch = dispatch
+            recorders, broadcast = dispatch
+            row_stats = vector.step_stats
+            for row, event in enumerate(events):
+                if row_stats:
+                    for recorder in recorders.get(event.module, ()):
+                        recorder.on_step_fast(event, row_stats[row])
+                else:
+                    for recorder in recorders.get(event.module, ()):
+                        recorder.on_step(event)
+                for observer in broadcast.get(event.module, ()):
+                    observer.on_step(event)
+            return events
         events = []
         for runner, step_input in zip(state.runners, self._parent_step(state, k)):
             event = runner.step(step_input)
             state.sink.on_step(event)
             events.append(event)
         return events
+
+    def _build_step_dispatch(
+        self, state: "_ClusterRunState", vector
+    ) -> "tuple[dict[int, list], dict[int, list]]":
+        """Per-module step-event routing for the vector fast path.
+
+        Behaviour-equivalent to ``sink.on_step`` fan-out: observers whose
+        ``on_step`` is the base-class no-op are dropped, a
+        :class:`ModuleRecorder` receives only its own module's events
+        (its own filter would discard the rest), and every other
+        observer receives everything. Relative observer order is
+        preserved within each module's list.
+
+        Returns ``(recorders, broadcast)``: stock recorders whose SLA
+        target matches the executor's (so the kernel's batched row
+        aggregates fold bit-identically via ``on_step_fast``), and
+        everything else (fed through plain ``on_step``).
+        """
+        recorders: "dict[int, list]" = {
+            runner.module_index: [] for runner in state.runners
+        }
+        broadcast: "dict[int, list]" = {
+            runner.module_index: [] for runner in state.runners
+        }
+        for observer in state.sink.observers:
+            if type(observer).on_step is SimulationObserver.on_step:
+                continue
+            if (
+                type(observer) is ModuleRecorder
+                and observer.stream.target_response == vector.target_response
+            ):
+                if observer.module in recorders:
+                    recorders[observer.module].append(observer)
+                continue
+            if isinstance(observer, ModuleRecorder):
+                if observer.module in broadcast:
+                    broadcast[observer.module].append(observer)
+                continue
+            for interested in broadcast.values():
+                interested.append(observer)
+        return recorders, broadcast
+
+    def _vector_baseline_observe(
+        self, state: "_ClusterRunState", k: int
+    ) -> None:
+        """Boundary Kalman observes, batched (vector kernel, baseline).
+
+        Performs the scalar boundary's predictor updates — the global
+        filter plus every module controller's arrival filter and work
+        EWMA — in one batched pass, before :meth:`_parent_boundary`
+        builds the boundary inputs with ``observed_arrivals=None`` so
+        the runners do not observe twice.
+        """
+        if k == 0:
+            return
+        from repro.sim.kernels import batched_predictor_observe
+
+        predictors = [self._global_predictor] + [
+            runner.controller.predictor for runner in state.runners
+        ]
+        values = [state.interval_global] + [
+            float(v) for v in state.interval_module
+        ]
+        batched_predictor_observe(predictors, values)
+        work = (
+            float(self.work_series[k])
+            if self.work_series is not None
+            else self.options.mean_work
+        )
+        if work > 0:
+            for runner in state.runners:
+                runner.controller.work_filter.observe(float(work))
 
     def _step_sharded(self, state: "_ClusterRunState") -> "list[StepEvent]":
         if not state.step_buffer:
@@ -1064,9 +1264,17 @@ class ClusterSimulation:
         ]
 
     def _parent_boundary(
-        self, state: "_ClusterRunState", k: int
+        self,
+        state: "_ClusterRunState",
+        k: int,
+        observed_consumed: bool = False,
     ) -> "tuple[L2DecisionEvent, list[ModuleBoundaryInput]]":
-        """Close the previous period and compute every module's set-points."""
+        """Close the previous period and compute every module's set-points.
+
+        ``observed_consumed`` marks that the vector kernel already fed
+        the interval's arrivals to every predictor (batched), so the
+        boundary must not observe them a second time.
+        """
         index = k // self.substeps
         now = k * self.l0_params.period
         if self.work_series is not None:
@@ -1087,7 +1295,7 @@ class ClusterSimulation:
             else None
         )
         if self.baselines is not None:
-            if k > 0:
+            if k > 0 and not observed_consumed:
                 self._global_predictor.observe(state.interval_global)
             global_prediction = float(self._global_predictor.forecast(1)[0])
             state.interval_global = 0.0
@@ -1102,7 +1310,9 @@ class ClusterSimulation:
                     period=index,
                     now=now,
                     observed_arrivals=(
-                        None if observed is None else float(observed[i])
+                        None
+                        if observed is None or observed_consumed
+                        else float(observed[i])
                     ),
                     work=boundary_work,
                     deadline_at=deadline_at,
@@ -1224,6 +1434,28 @@ class ClusterSimulation:
             state.fine_predictor.observe(arrivals)
         return inputs
 
+    def _parent_step_vector(
+        self, state: "_ClusterRunState", k: int
+    ) -> "tuple[int, float, np.ndarray, float | None]":
+        """Array-form twin of :meth:`_parent_step` for the vector path.
+
+        Advances the same parent-side accumulators (identical
+        elementwise arithmetic) but skips building per-module
+        ``ModuleStepInput`` objects and the fine-grained forecast, which
+        baseline substeps never read — the executor consumes the share
+        row directly.
+        """
+        arrivals = float(self.trace.counts[k])
+        state.interval_global += arrivals
+        shares = state.gamma_modules * arrivals
+        state.interval_module += shares
+        if state.fine_predictor is not None:
+            state.fine_predictor.observe(arrivals)
+        work = (
+            float(self.work_series[k]) if self.work_series is not None else None
+        )
+        return k, k * self.l0_params.period, shares, work
+
     def advance_period(self) -> "Iterator[list[StepEvent]]":
         """Generate the remaining steps of the current control period."""
         state = self._require_state()
@@ -1262,6 +1494,8 @@ class ClusterSimulation:
                 finals_by_module[i] for i in range(self.spec.module_count)
             ]
         else:
+            if state.vector_executor is not None:
+                state.vector_executor.flush()
             finals = [runner.finalize() for runner in state.runners]
         module_results = []
         for i, final in enumerate(finals):
@@ -1345,6 +1579,8 @@ class ClusterSimulation:
             if periods
             else 0.0
         )
+        if state.vector_executor is not None:
+            state.vector_executor.flush()
         finals = [runner.finalize() for runner in state.runners]
         l0 = ControllerStats()
         l1 = ControllerStats()
@@ -1438,6 +1674,11 @@ class _ClusterRunState:
     runners: "list[ModuleShardRunner] | None" = None
     pool: "ShardWorkerPool | None" = None
     shard_worker_count: "int | None" = None
+    #: Batched substep engine (serial baseline runs on the vector
+    #: kernel only; None everywhere else).
+    vector_executor: "object | None" = None
+    #: Lazily-built per-module step-event routing for the vector path.
+    vector_step_dispatch: "tuple[dict[int, list], dict[int, list]] | None" = None
     last_queue_lengths: "list | None" = None
     step_buffer: list = field(default_factory=list)
     interval_global: float = 0.0

@@ -1,48 +1,32 @@
-"""Legacy run-to-completion wrappers over the scenario API.
+"""Workload helpers and the §4.3 control-overhead experiment.
 
-.. deprecated::
-    The scenario-first API supersedes these functions:
-    ``run_scenario(Scenario.module(m=4).build())`` replaces
-    :func:`module_experiment`, and the registry names
-    (``paper/fig4-module4``, ``paper/fig6-cluster16``, ...) replace the
-    hard-coded configurations. The wrappers remain as thin shims — they
-    build the equivalent :class:`~repro.scenario.spec.ScenarioSpec` and
-    call :func:`~repro.scenario.runner.run_scenario`, so they produce
-    bit-for-bit identical results and existing benchmarks keep passing.
+The pre-1.1 run-to-completion wrappers (``module_experiment``,
+``cluster_experiment``) are retired: the scenario-first API supersedes
+them — ``run_scenario(Scenario.module(m=4).build())`` and the registry
+names (``paper/fig4-module4``, ``paper/fig6-cluster16``, ...) produce
+the same bit-for-bit results with one entry point. Calling the retired
+names now raises :class:`~repro.common.ConfigurationError` pointing at
+the replacement.
 
-* :func:`module_experiment` — §4.3: the heterogeneous module of four under
-  the synthetic day-scale workload (Figs. 4 and 5), with the m = 6 and
-  m = 10 variants used for the overhead study.
-* :func:`cluster_experiment` — §5.2: sixteen computers in four modules
-  under the WC'98 workload (Figs. 6 and 7), with the twenty-computer
-  five-module variant — now also runnable with ``baseline=`` pinning
-  every module to a heuristic policy.
+What remains here:
+
+* :func:`module_workload` — the §4.3 synthetic day-scale trace, scaled
+  to a module of ``m`` computers;
 * :func:`overhead_experiment` — the §4.3 control-overhead measurements.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cluster.specs import paper_module_spec, scaled_module_spec
-from repro.controllers.baselines import _BaselineBase
-from repro.controllers.params import L0Params, L1Params, L2Params
-from repro.sim.results import ClusterRunResult, ModuleRunResult
+from repro.common import ConfigurationError
 from repro.workload.synthetic import SyntheticWorkloadSpec, synthetic_trace
 
 #: Aggregate full-speed capacity of the module of four at c = 17.5 ms.
 MODULE_OF_FOUR_CAPACITY = paper_module_spec().max_service_rate(0.0175)
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 def module_workload(
@@ -64,83 +48,21 @@ def module_workload(
     return trace
 
 
-def module_experiment(
-    m: int = 4,
-    l1_samples: int = 1600,
-    seed: int = 0,
-    baseline: _BaselineBase | None = None,
-    l0_params: L0Params | None = None,
-    l1_params: L1Params | None = None,
-    behavior_maps=None,
-) -> ModuleRunResult:
-    """Run the §4.3 module experiment and return its results.
-
-    .. deprecated:: use
-        ``run_scenario(Scenario.module(m=...).workload("synthetic",
-        samples=...).seed(...).build())``.
-
-    With the defaults this reproduces Figs. 4 and 5: r* = 4 s, N_L0 = 3,
-    T_L0 = 30 s, N_L1 = 1, T_L1 = 2 min, W = 8, gamma step 0.05 (0.1 for
-    the m = 6 / m = 10 variants, per the paper).
-    """
-    from repro.scenario import Scenario, run_scenario
-
-    _deprecated("module_experiment", "run_scenario + Scenario.module")
-    scenario = (
-        Scenario.module(m=m)
-        .workload("synthetic", samples=l1_samples)
-        .seed(seed)
-        .build()
-    )
-    return run_scenario(
-        scenario,
-        baseline=baseline,
-        l0_params=l0_params,
-        l1_params=l1_params,
-        behavior_maps=behavior_maps,
+def module_experiment(*args, **kwargs):
+    """Removed. Use ``run_scenario`` with ``Scenario.module``."""
+    raise ConfigurationError(
+        "module_experiment was removed; use run_scenario("
+        "Scenario.module(m=...).workload('synthetic', samples=...)"
+        ".seed(...).build()) from repro.scenario"
     )
 
 
-def cluster_experiment(
-    p: int = 4,
-    samples: int = 600,
-    seed: int = 0,
-    l0_params: L0Params | None = None,
-    l1_params: L1Params | None = None,
-    l2_params: L2Params | None = None,
-    scale: float | None = None,
-    baseline: "str | None" = None,
-    baseline_params: "dict | None" = None,
-) -> ClusterRunResult:
-    """Run the §5.2 cluster experiment (Figs. 6 and 7).
-
-    .. deprecated:: use
-        ``run_scenario(Scenario.cluster(p=...).workload("wc98",
-        samples=...).build())``.
-
-    Sixteen heterogeneous computers in four heterogeneous modules under a
-    WC'98-shaped one-day trace; ``p = 5`` gives the twenty-computer
-    variant. The trace is scaled to the cluster's capacity when ``scale``
-    is not given explicitly. ``baseline`` (a registered baseline name,
-    e.g. ``"always-on-max"``) pins every module to that heuristic with a
-    static capacity-proportional split — the cluster-level comparison the
-    paper's §5.2 setting implies.
-    """
-    from repro.scenario import Scenario, run_scenario
-
-    _deprecated("cluster_experiment", "run_scenario + Scenario.cluster")
-    builder = (
-        Scenario.cluster(p=p)
-        .workload("wc98", samples=samples, scale=scale)
-        .seed(seed)
-    )
-    if baseline is not None:
-        builder = builder.baseline(baseline, **(baseline_params or {}))
-    return run_scenario(
-        builder.build(),
-        l0_params=l0_params,
-        l1_params=l1_params,
-        l2_params=l2_params,
+def cluster_experiment(*args, **kwargs):
+    """Removed. Use ``run_scenario`` with ``Scenario.cluster``."""
+    raise ConfigurationError(
+        "cluster_experiment was removed; use run_scenario("
+        "Scenario.cluster(p=...).workload('wc98', samples=...)"
+        ".seed(...).build()) from repro.scenario"
     )
 
 

@@ -1,0 +1,849 @@
+"""The vector control-period kernel: batched numpy twins of the hot path.
+
+The scalar engine advances the plant with pure-Python per-computer loops —
+one ``Computer.step_fluid`` call, one L0 ``decide``, one Kalman ``observe``
+at a time. This module provides batched implementations of exactly those
+loops, selectable per run via ``EngineOptions(kernel="vector")`` /
+``ControlSpec.kernel`` / ``repro run --kernel vector``:
+
+* :class:`L0BankKernel` — one lookahead expansion for a whole module's
+  L0 bank: every serving computer's candidate tree grows as one padded
+  ``(computers, paths, settings)`` array per depth.
+* :func:`batched_predictor_observe` — one manual-elementwise Kalman
+  predict/update for a whole bank of :class:`WorkloadPredictor` objects
+  (the per-module and global arrival filters), written back into the
+  scalar filter objects so every downstream ``forecast`` is untouched.
+* :class:`ClusterVectorExecutor` — the serial baseline-cluster substep
+  engine: all modules' fluid updates, energy metering, and lifecycle
+  ticks advance as ``(modules, computers)`` arrays, emitting the very
+  same :class:`StepEvent` stream the scalar runners emit.
+
+Parity is the design constraint, not an aspiration: every formula here
+replicates the scalar expression's operand order elementwise (float
+addition is not associative, so reductions that the scalar path performs
+sequentially are performed in the same sequence here). The parity suite
+(``tests/sim/test_kernel_parity.py``) pins scalar and vector runs to
+exact ``==`` on every deterministic summary metric.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - environment guard
+    raise ImportError(
+        "the vector kernel requires numpy>=1.22 (a declared dependency in "
+        "pyproject.toml). Install it, or select the pure-Python reference "
+        "path with --kernel scalar / ControlSpec(kernel='scalar')."
+    ) from exc
+
+
+def _numpy_floor_check() -> None:
+    """Fail fast (naming the fallback) on a numpy older than the floor."""
+    floor = (1, 22)
+    try:
+        found = tuple(int(part) for part in np.__version__.split(".")[:2])
+    except ValueError:  # pragma: no cover - dev/rc version strings
+        return
+    if found < floor:  # pragma: no cover - environment guard
+        raise ImportError(
+            f"the vector kernel requires numpy>={floor[0]}.{floor[1]}, "
+            f"found {np.__version__}. Upgrade numpy, or select the "
+            "pure-Python reference path with --kernel scalar / "
+            "ControlSpec(kernel='scalar')."
+        )
+
+
+_numpy_floor_check()
+
+from repro.common.errors import ConfigurationError, ControlError  # noqa: E402
+from repro.common.validation import require_probability_vector  # noqa: E402
+from repro.cluster.lifecycle import PowerState  # noqa: E402
+from repro.controllers.baselines import (  # noqa: E402
+    AlwaysOnMaxController,
+    BaselineDecision,
+    ThresholdDvfsController,
+    ThresholdOnOffController,
+)
+from repro.controllers.l0 import L0Decision  # noqa: E402
+from repro.forecast.kalman import KalmanStep  # noqa: E402
+from repro.sim.observers import StepEvent  # noqa: E402
+
+import math  # noqa: E402
+import time  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# K2: the batched L0 bank
+# ----------------------------------------------------------------------
+
+
+class L0BankKernel:
+    """Batched lookahead for a module's L0 controllers (hierarchy mode).
+
+    The scalar path calls ``L0Controller.decide`` once per serving
+    computer per T_L0 step; each call expands its own ``(paths,
+    settings)`` tree. This kernel expands all serving computers' trees
+    simultaneously as one ``(computers, paths, max_settings)`` array per
+    depth. Heterogeneous processors (different setting counts) are
+    padded to the widest; padded settings carry ``+inf`` step costs, so
+    they never win the argmin, and the flat index arithmetic maps the
+    winner back to the unpadded tree exactly (base-``max_settings``
+    digit strings preserve the scalar enumeration order).
+
+    Costs and queue trajectories are computed with the scalar
+    expressions' operand order, so each computer's decision (frequency
+    index, expected cost, states explored) is identical to its scalar
+    ``decide`` — including the per-controller ``stats`` bookkeeping.
+    """
+
+    def __init__(self, controllers: list) -> None:
+        if not controllers:
+            raise ConfigurationError("L0 bank kernel needs at least one controller")
+        self.controllers = list(controllers)
+        params = self.controllers[0].params
+        self.horizon = params.horizon
+        self.period = params.period
+        self.margin = params.robustness_margin
+        self.setting_counts = [c.phis.size for c in self.controllers]
+        self.max_settings = max(self.setting_counts)
+        n = len(self.controllers)
+        # Padded per-computer constants. Pad phi = 1.0 keeps every derived
+        # expression finite (no inf*0 NaN risk); padded entries are forced
+        # to +inf step cost explicitly instead.
+        self._phis = np.ones((n, self.max_settings))
+        self._pad = np.zeros((n, self.max_settings), dtype=bool)
+        for row, controller in enumerate(self.controllers):
+            count = controller.phis.size
+            self._phis[row, :count] = controller.phis
+            self._pad[row, count:] = True
+        self._speeds = np.array(
+            [c.model.speed_factor for c in self.controllers]
+        )
+        self._base_powers = np.array(
+            [c.model.base_power for c in self.controllers]
+        )
+        self._power_scales = np.array(
+            [c.model.power_scale for c in self.controllers]
+        )
+        #: States a scalar ``decide`` explores per controller:
+        #: sum_{d=1..horizon} settings**d (the full tree, every depth).
+        self._explored = [
+            sum(count**d for d in range(1, self.horizon + 1))
+            for count in self.setting_counts
+        ]
+
+    def decide_many(
+        self,
+        indices: "list[int]",
+        queues: "list[float]",
+        rate_forecasts: "list[np.ndarray]",
+        work_estimates: "list[float]",
+    ) -> "list[L0Decision]":
+        """Run the bank's lookahead for a subset of computers at once.
+
+        ``indices`` selects controllers (bank positions); the parallel
+        lists carry each one's queue, per-depth arrival-rate forecasts,
+        and c-hat. Returns one :class:`L0Decision` per entry and records
+        each controller's stats exactly as its scalar ``decide`` would.
+        """
+        started = time.perf_counter()
+        rates = np.stack([np.asarray(r, dtype=float) for r in rate_forecasts])
+        if rates.shape[1] < self.horizon:
+            raise ConfigurationError(
+                f"need {self.horizon} rate forecasts, got {rates.shape[1]}"
+            )
+        for work in work_estimates:
+            if work <= 0:
+                raise ConfigurationError("work_estimate must be positive")
+        if self.margin > 0:
+            rates = rates * (1.0 + self.margin)
+        rows = np.asarray(indices, dtype=np.intp)
+        n = rows.size
+        works = np.asarray(work_estimates, dtype=float)
+        phis = self._phis[rows]
+        pad = self._pad[rows]
+        speeds = self._speeds[rows]
+        # Same expressions as the scalar decide, batched over computers.
+        service_rates = phis * speeds[:, None] / works[:, None]
+        capacities = service_rates * self.period
+        powers = (
+            self._base_powers[rows][:, None]
+            + self._power_scales[rows][:, None] * phis**2
+        )
+        effective_service = works[:, None] / (phis * speeds[:, None])
+        if pad.any():
+            capacities[pad] = np.inf  # a pad path absorbs all arrivals...
+        cost = self.controllers[0].cost
+
+        path_queues = np.asarray(queues, dtype=float)[:, None]
+        costs = np.zeros((n, 1))
+        for depth in range(self.horizon):
+            arrivals = np.maximum(rates[:, depth], 0.0) * self.period
+            next_queues = np.clip(
+                path_queues[:, :, None]
+                + arrivals[:, None, None]
+                - capacities[:, None, :],
+                0.0,
+                None,
+            )
+            responses = (1.0 + next_queues) * effective_service[:, None, :]
+            step_costs = cost.evaluate(responses, powers[:, None, :])
+            if pad.any():
+                # ...and is priced out of the argmin explicitly.
+                step_costs = np.where(pad[:, None, :], np.inf, step_costs)
+            costs = (costs[:, :, None] + step_costs).reshape(n, -1)
+            path_queues = next_queues.reshape(n, -1)
+        best = np.argmin(costs, axis=1)
+        first_actions = best // self.max_settings ** (self.horizon - 1)
+        elapsed = time.perf_counter() - started
+        share = elapsed / n
+        decisions = []
+        for row, bank_index in enumerate(indices):
+            controller = self.controllers[bank_index]
+            explored = self._explored[bank_index]
+            decisions.append(
+                L0Decision(
+                    frequency_index=int(first_actions[row]),
+                    expected_cost=float(costs[row, best[row]]),
+                    states_explored=explored,
+                )
+            )
+            controller.stats.record(explored, share)
+        return decisions
+
+
+# ----------------------------------------------------------------------
+# Batched Kalman observe for a bank of workload predictors
+# ----------------------------------------------------------------------
+
+
+def batched_predictor_observe(predictors: list, values: "list[float]") -> None:
+    """One boundary's Kalman predict/update for a bank of predictors.
+
+    Performs exactly what ``predictor.observe(value)`` performs for each
+    (one-ahead forecast, uncertainty-band update, filter step, history
+    append), but with the 2-state local-linear-trend algebra expanded to
+    explicit scalar formulas — the same IEEE-754 double operations in
+    the same order as the matrix path, so the result is bit-identical —
+    and the results written back into each filter object. Banks are a
+    handful of 2-state filters, so plain Python floats beat numpy's
+    per-call dispatch by an order of magnitude here. Any unprimed
+    predictor drops the whole bank to the scalar loop (priming is a
+    first-observation special case).
+    """
+    if any(not p._primed for p in predictors):
+        for predictor, value in zip(predictors, values):
+            predictor.observe(float(value))
+        return
+    for predictor, value in zip(predictors, values):
+        kalman = predictor._filter
+        z = float(value)
+        s0 = float(kalman.state[0])
+        s1 = float(kalman.state[1])
+        cov = kalman.cov
+        c00 = float(cov[0, 0])
+        c01 = float(cov[0, 1])
+        c10 = float(cov[1, 0])
+        c11 = float(cov[1, 1])
+        q = kalman.model.process_cov
+        r_var = float(kalman.model.observation_cov[0, 0])
+
+        # One-ahead forecast from the pre-step state (what the band
+        # sees): F @ state once, read the level, clip at zero.
+        ahead = s0 + s1
+        if not ahead > 0.0:
+            ahead = 0.0
+        predictor._band.observe(z - ahead)
+
+        # Predict: state = F @ state, cov = F @ cov @ F.T + Q, then
+        # symmetrize exactly like the matrix path.
+        s0 = s0 + s1
+        p00 = c00 + c10 + (c01 + c11) + float(q[0, 0])
+        p01 = c01 + c11 + float(q[0, 1])
+        p10 = c10 + c11 + float(q[1, 0])
+        p11 = c11 + float(q[1, 1])
+        c00 = (p00 + p00) / 2.0
+        c01 = (p01 + p10) / 2.0
+        c10 = (p10 + p01) / 2.0
+        c11 = (p11 + p11) / 2.0
+
+        # Update (Joseph form); 1x1 innovation, so the inverse is a
+        # reciprocal.
+        predicted = s0
+        innovation = z - predicted
+        s_var = c00 + r_var
+        inv_s = 1.0 / s_var
+        g0 = c00 * inv_s
+        g1 = c10 * inv_s
+        s0 = s0 + g0 * innovation
+        s1 = s1 + g1 * innovation
+        f00 = 1.0 - g0
+        f10 = -g1
+        a00 = f00 * c00
+        a01 = f00 * c01
+        a10 = f10 * c00 + c10
+        a11 = f10 * c01 + c11
+        b00 = a00 * f00 + g0 * r_var * g0
+        b01 = (a00 * f10 + a01) + g0 * r_var * g1
+        b10 = a10 * f00 + g1 * r_var * g0
+        b11 = (a10 * f10 + a11) + g1 * r_var * g1
+        c00 = (b00 + b00) / 2.0
+        c01 = (b01 + b10) / 2.0
+        c10 = (b10 + b01) / 2.0
+        c11 = (b11 + b11) / 2.0
+
+        kalman.state = np.array([s0, s1])
+        kalman.cov = np.array([[c00, c01], [c10, c11]])
+        kalman.history.append(
+            KalmanStep(
+                prediction=predicted,
+                innovation=innovation,
+                innovation_var=s_var,
+            )
+        )
+        predictor._observations += 1
+
+
+# ----------------------------------------------------------------------
+# K3: the serial baseline-cluster substep executor
+# ----------------------------------------------------------------------
+
+def _fast_probability_vector(gamma, size: int):
+    """Scalar-Python accept path of :func:`require_probability_vector`.
+
+    Returns the clamped vector (as a list) when ``gamma`` is a short
+    list that passes the validator's checks, or ``None`` to defer to
+    the full validator — which re-runs the same checks and raises the
+    proper :class:`ConfigurationError`. The sequential Python sum
+    matches numpy's sum for fewer than 8 elements, so accept/reject
+    decisions are identical on this path.
+    """
+    if size >= 8:
+        return None
+    if type(gamma) is np.ndarray:
+        if gamma.ndim != 1 or gamma.dtype != np.float64 or gamma.size != size:
+            return None
+        gamma = gamma.tolist()
+    elif type(gamma) is not list or len(gamma) != size:
+        return None
+    total = 0.0
+    for value in gamma:
+        if value < -1e-6:
+            return None
+        total += value
+    if abs(total - 1.0) > 1e-6:
+        return None
+    return [value if value > 0.0 else 0.0 for value in gamma]
+
+
+_STATE_CODES = {
+    PowerState.OFF: 0,
+    PowerState.BOOTING: 1,
+    PowerState.ON: 2,
+    PowerState.DRAINING: 3,
+    PowerState.FAILED: 4,
+}
+_CODE_STATES = {code: state for state, code in _STATE_CODES.items()}
+
+
+class ClusterVectorExecutor:
+    """Batched substep engine for a serial baseline cluster run.
+
+    Baseline-mode substeps touch no controllers — every T_L0 step is
+    pure plant work (gamma split, fluid queue update, energy metering,
+    lifecycle tick). This executor advances all modules' computers as
+    one ``(modules, max_computers)`` array per quantity and emits the
+    identical :class:`StepEvent` per module through the normal sink.
+
+    The scalar ``Computer`` objects stay authoritative at control-period
+    boundaries: ``pull()`` snapshots them into arrays after the boundary
+    decisions reconfigure the plant, and ``flush()`` writes queue,
+    lifecycle state, energy, and clock back before the next boundary (or
+    a mid-run ``live_summary``/``finish``) reads them. Switch counts and
+    transient energy only ever change inside the scalar boundary code,
+    so they are never mirrored here.
+    """
+
+    def __init__(
+        self,
+        runners: list,
+        l0_period: float,
+        target_response: "float | None" = None,
+    ) -> None:
+        self.runners = list(runners)
+        self.dt = float(l0_period)
+        self.target_response = target_response
+        #: Per-module response-row aggregates for the most recent
+        #: ``step_all`` call: ``(sum, count, max, violations)`` tuples,
+        #: reduced in one batched pass so recorders can fold them
+        #: without re-scanning each row (violations are counted against
+        #: ``target_response``).
+        self.step_stats: "list[tuple]" = []
+        #: Period-constant cache: masks, power draws, and capacities are
+        #: functions of lifecycle state / phi / work only, all of which
+        #: change at boundaries (pull) or lifecycle transitions (tick) —
+        #: never inside an ordinary substep. ``None`` means rebuild.
+        self._cache = None
+        self.module_count = len(self.runners)
+        self._module_indices = [runner.module_index for runner in self.runners]
+        self.sizes = [runner.plant.size for runner in self.runners]
+        self.max_size = max(self.sizes)
+        shape = (self.module_count, self.max_size)
+        self._valid = np.zeros(shape, dtype=bool)
+        # Pad speed/base/scale keep padded expressions finite; the valid
+        # mask excludes them from every observable quantity.
+        self._speeds = np.ones(shape)
+        self._bases = np.zeros(shape)
+        self._scales = np.zeros(shape)
+        self._names = [
+            [c.spec.name for c in runner.plant.computers]
+            for runner in self.runners
+        ]
+        for i, runner in enumerate(self.runners):
+            for j, computer in enumerate(runner.plant.computers):
+                self._valid[i, j] = True
+                self._speeds[i, j] = computer.model.speed_factor
+                self._bases[i, j] = computer.spec.base_power
+                self._scales[i, j] = computer.spec.power_scale
+        self._pulled = False
+        # Mutable plant state mirrors (filled by pull()).
+        self._queues = np.zeros(shape)
+        self._states = np.zeros(shape, dtype=np.int64)
+        self._boot_remaining = np.zeros(shape)
+        self._phis = np.ones(shape)
+        self._freqs = np.zeros(shape)
+        self._gammas = np.zeros(shape)
+        self._energy_base = np.zeros(shape)
+        self._energy_dynamic = np.zeros(shape)
+        self._clocks = np.zeros(shape)
+
+    def pull(self) -> None:
+        """Snapshot plant objects into arrays (call after a boundary).
+
+        Boundary code reconfigures lifecycle state, frequency, and gamma
+        but never touches the base/dynamic energy accumulators or the
+        step clock (switch-on transients land in the separate
+        ``transient_energy`` accumulator), so those mirrors are read
+        once at the first pull and stay authoritative thereafter.
+        """
+        first_pull = not self._pulled
+        for i, runner in enumerate(self.runners):
+            gamma = _fast_probability_vector(runner.gamma, self.sizes[i])
+            if gamma is None:
+                gamma = require_probability_vector(runner.gamma, "gamma")
+            self._gammas[i, : self.sizes[i]] = gamma
+            for j, computer in enumerate(runner.plant.computers):
+                self._queues[i, j] = computer.queue
+                self._states[i, j] = _STATE_CODES[computer.lifecycle.state]
+                self._boot_remaining[i, j] = computer.lifecycle._boot_remaining
+                self._phis[i, j] = computer.phi
+                self._freqs[i, j] = computer.frequency_ghz
+                if first_pull:
+                    self._energy_base[i, j] = computer.energy.base_energy
+                    self._energy_dynamic[i, j] = computer.energy.dynamic_energy
+                    self._clocks[i, j] = computer._clock
+        self._pulled = True
+        self._cache = None
+
+    def flush(self, full: bool = True) -> None:
+        """Write array state back into the plant objects (idempotent).
+
+        ``full=False`` writes only what boundary code reads — queue,
+        lifecycle state, boot countdown. The energy accumulators and the
+        step clock are written on full flushes only (result building,
+        live summaries, error paths); nothing between boundaries reads
+        them, so the mirrors stay authoritative in the meantime.
+        """
+        if not self._pulled:
+            return
+        queues = self._queues.tolist()
+        states = self._states.tolist()
+        boots = self._boot_remaining.tolist()
+        for i, runner in enumerate(self.runners):
+            row_q = queues[i]
+            row_s = states[i]
+            row_b = boots[i]
+            for j, computer in enumerate(runner.plant.computers):
+                computer.queue = row_q[j]
+                computer.lifecycle.state = _CODE_STATES[row_s[j]]
+                computer.lifecycle._boot_remaining = row_b[j]
+        if not full:
+            return
+        for i, runner in enumerate(self.runners):
+            for j, computer in enumerate(runner.plant.computers):
+                computer.energy.base_energy = float(self._energy_base[i, j])
+                computer.energy.dynamic_energy = float(
+                    self._energy_dynamic[i, j]
+                )
+                computer._clock = float(self._clocks[i, j])
+
+    def _rebuild_cache(self, work: float) -> dict:
+        """Recompute the period-constant quantities for the current state.
+
+        Every entry is a pure function of lifecycle state, phi, speed,
+        and work — all frozen between boundaries except across lifecycle
+        transitions, which explicitly invalidate the cache.
+        """
+        dt = self.dt
+        valid = self._valid
+        states = self._states
+        serving = (states == _STATE_CODES[PowerState.ON]) | (
+            states == _STATE_CODES[PowerState.DRAINING]
+        )
+        accepts = states == _STATE_CODES[PowerState.ON]
+        booting = states == _STATE_CODES[PowerState.BOOTING]
+        draws = valid & (states != _STATE_CODES[PowerState.OFF]) & (
+            states != _STATE_CODES[PowerState.FAILED]
+        )
+        dynamic = np.where(
+            serving,
+            (self._bases + self._scales * self._phis**2) - self._bases,
+            0.0,
+        )
+        powers = np.where(draws, self._bases + dynamic, 0.0)
+        rejecting = valid & ~(accepts | booting)
+        cache = {
+            "work": work,
+            "serving": serving,
+            "rejecting": rejecting,
+            "any_rejecting": bool(rejecting.any()),
+            "any_booting": bool(booting.any()),
+            "booting": booting,
+            "any_draining": bool(
+                (states == _STATE_CODES[PowerState.DRAINING]).any()
+            ),
+            "capacities": np.where(
+                serving, self._phis * self._speeds / work * dt, 0.0
+            ),
+            "effective_service": work
+            / (np.maximum(self._phis, 1e-12) * self._speeds),
+            "powers": powers,
+            "power_sums": [float(powers[i].sum()) for i in range(self.module_count)],
+            "energy_base_inc": np.where(draws, self._bases * dt, 0.0),
+            "energy_dynamic_inc": np.where(draws, dynamic * dt, 0.0),
+            "clock_inc": np.where(valid, dt, 0.0),
+            # Frequencies are fixed between boundaries, so one copy per
+            # rebuild serves every event of the period; the copies are
+            # never mutated afterwards, so sharing them is value-safe
+            # even for observers that retain event references.
+            "freq_rows": [
+                self._freqs[i, : self.sizes[i]].copy()
+                for i in range(self.module_count)
+            ],
+        }
+        self._cache = cache
+        return cache
+
+    def step_all(
+        self,
+        step: int,
+        now: float,
+        module_shares: np.ndarray,
+        work: "float | None",
+    ) -> "list[StepEvent]":
+        """Advance every module one T_L0 fluid step; returns the events.
+
+        ``module_shares`` is the per-module arrival row for this step
+        (already split by the parent gamma); ``work`` of ``None`` means
+        the scenario mean.
+        """
+        if not self._pulled:
+            self.pull()
+        dt = self.dt
+        states = self._states
+        if work is None:
+            work = self.runners[0].mean_work
+        cache = self._cache
+        if cache is None or cache["work"] != work:
+            cache = self._rebuild_cache(work)
+        serving = cache["serving"]
+        shares = self._gammas * module_shares[:, None]
+        if cache["any_rejecting"]:
+            bad = (shares > 0) & cache["rejecting"]
+            if bad.any():
+                self.flush()
+                i, j = map(int, np.argwhere(bad)[0])
+                raise ControlError(
+                    f"{self._names[i][j]} received arrivals while "
+                    f"{_CODE_STATES[int(states[i, j])].value}"
+                )
+        # Fluid step (computer.step_fluid's expressions, batched).
+        start_queues = self._queues
+        offered = start_queues + shares
+        next_queues = np.maximum(offered - cache["capacities"], 0.0)
+        served = offered - next_queues
+        mid_queues = (start_queues + next_queues) / 2.0
+        served_mask = (served > 0) & serving
+        response_values = (1.0 + mid_queues) * cache["effective_service"]
+        responses = np.where(served_mask, response_values, np.nan)
+        self._energy_base += cache["energy_base_inc"]
+        self._energy_dynamic += cache["energy_dynamic_inc"]
+        self._queues = next_queues
+        # Lifecycle tick (uses the post-update queue, like the scalar).
+        if cache["any_booting"]:
+            booting = cache["booting"]
+            remaining = self._boot_remaining
+            remaining[booting] -= dt
+            done = booting & (remaining <= 1e-12)
+            if done.any():
+                remaining[done] = 0.0
+                states[done] = _STATE_CODES[PowerState.ON]
+                self._cache = None
+        if cache["any_draining"]:
+            draining_empty = (states == _STATE_CODES[PowerState.DRAINING]) & (
+                next_queues <= 1e-9
+            )
+            if draining_empty.any():
+                states[draining_empty] = _STATE_CODES[PowerState.OFF]
+                self._cache = None
+        self._clocks += cache["clock_inc"]
+        # One batched reduction of every response row replaces the
+        # recorders' per-row scans. Padded and idle entries are NaN, so
+        # filling them with 0 (sum) / -inf (max) and comparing NaN>t as
+        # False reproduces the scalar finite-filter arithmetic exactly
+        # (all real responses are positive, and adding 0.0 to a
+        # non-negative partial sum is exact). Rows of 8+ elements would
+        # hit numpy's unrolled accumulation over a different element set
+        # than the scalar finite subset, so wide modules skip the fast
+        # stats and recorders re-scan their rows.
+        if self.max_size < 8:
+            row_counts = served_mask.sum(axis=1)
+            row_sums = np.where(served_mask, response_values, 0.0).sum(axis=1)
+            row_maxes = np.where(served_mask, response_values, -np.inf).max(
+                axis=1
+            )
+            if self.target_response is not None:
+                row_violations = (responses > self.target_response).sum(axis=1)
+            else:
+                row_violations = row_counts
+            self.step_stats = list(
+                zip(
+                    row_sums.tolist(),
+                    row_counts.tolist(),
+                    row_maxes.tolist(),
+                    row_violations.tolist(),
+                )
+            )
+        events = []
+        share_list = module_shares.tolist()
+        for i, module_index in enumerate(self._module_indices):
+            size = self.sizes[i]
+            events.append(
+                StepEvent(
+                    step=step,
+                    time=now,
+                    module=module_index,
+                    arrivals=share_list[i],
+                    frequencies=cache["freq_rows"][i],
+                    responses=responses[i, :size].copy(),
+                    queues=next_queues[i, :size].copy(),
+                    power=cache["power_sums"][i],
+                )
+            )
+        return events
+
+
+# ----------------------------------------------------------------------
+# Fast scalar-Python twins of the baseline controllers' act()
+# ----------------------------------------------------------------------
+#
+# A baseline `act` works on module-sized arrays (typically 4 entries);
+# at that size numpy's per-call dispatch overhead dwarfs the arithmetic.
+# These twins perform the identical IEEE-754 double operations in the
+# identical order with plain Python floats — elementwise float ops are
+# the same instruction either way, and numpy's sum over fewer than 8
+# contiguous float64 elements is a plain left-to-right accumulation —
+# so the returned decision is bit-identical to `controller.act`.
+# Anything unrecognised (custom baseline subclasses, modules wide enough
+# that numpy's pairwise summation kicks in) falls back to the scalar
+# method.
+
+
+def fast_forecast1(predictor) -> float:
+    """Bit-exact scalar twin of ``float(predictor.forecast(1)[0])``."""
+    if not predictor._primed:
+        return 0.0
+    state = predictor._filter.state
+    value = float(state[0]) + float(state[1])
+    return value if value > 0.0 else 0.0
+
+
+def _fast_quantize(weights: "list[float]", k: int, step: float) -> "list[float]":
+    """Scalar twin of :func:`repro.core.simplex.quantize_to_simplex`."""
+    n = len(weights)
+    total = weights[0]
+    for index in range(1, n):
+        total += weights[index]
+    if total <= 0:
+        floors = [k // n] * n
+        remainder = k - (k // n) * n
+        for index in range(remainder):
+            floors[index] += 1
+        return [float(f) * step for f in floors]
+    floors = []
+    fractional = []
+    floor_sum = 0
+    for w in weights:
+        scaled = w / total * k
+        f = math.floor(scaled)
+        floors.append(f)
+        fractional.append(scaled - f)
+        floor_sum += f
+    remainder = k - floor_sum
+    order = sorted(range(n), key=lambda i: -fractional[i])
+    for index in order[:remainder]:
+        floors[index] += 1
+    return [float(f) * step for f in floors]
+
+
+def _fast_act_state(controller) -> dict:
+    """Per-controller constants for the fast act twins (cached once)."""
+    state = getattr(controller, "_fast_act_cache", None)
+    if state is not None:
+        return state
+    from repro.core.simplex import _quanta
+
+    computers = controller.spec.computers
+    state = {
+        "n": controller.spec.size,
+        "speeds": [float(s) for s in controller.speed_factors],
+        "max_indices": [int(i) for i in controller.max_indices],
+        "k": _quanta(controller.gamma_step),
+        "step": float(controller.gamma_step),
+        # Shared frozen copy for decisions that keep every machine at
+        # max frequency; consumers only read it.
+        "max_indices_arr": np.array(
+            [int(i) for i in controller.max_indices]
+        ),
+        # Per-computer `scaling_factor * effective_speed_factor` products
+        # (the dvfs rate numerators), precomputed exactly.
+        "fe": [
+            [
+                float(f) * float(c.effective_speed_factor)
+                for f in c.processor.scaling_factors
+            ]
+            for c in computers
+        ],
+    }
+    controller._fast_act_cache = state
+    return state
+
+
+def _fast_threshold_on_off(controller, alpha_current) -> "tuple":
+    """The shared on/off provisioning core; returns (alpha, gamma, explored,
+    capacities, rate, work) as plain Python values."""
+    cached = _fast_act_state(controller)
+    n = cached["n"]
+    work = controller.work_estimate
+    rate = fast_forecast1(controller.predictor) / 120.0
+    alpha = [bool(a) for a in alpha_current]
+    if not any(alpha):
+        speeds = cached["speeds"]
+        best = 0
+        for index in range(1, n):
+            if speeds[index] > speeds[best]:
+                best = index
+        alpha[best] = True
+    capacities = [s / work for s in cached["speeds"]]
+    explored = 1
+    on_sum = 0.0
+    first = True
+    for index in range(n):
+        if alpha[index]:
+            if first:
+                on_sum = capacities[index]
+                first = False
+            else:
+                on_sum += capacities[index]
+    utilisation = rate / max(on_sum, 1e-9)
+    if utilisation > controller.upper and not all(alpha):
+        best = -1
+        for index in range(n):
+            if not alpha[index] and (
+                best < 0 or capacities[index] > capacities[best]
+            ):
+                best = index
+        alpha[best] = True
+        explored += 1
+    elif utilisation < controller.lower and sum(alpha) > 1:
+        candidate = -1
+        for index in range(n):
+            if alpha[index] and (
+                candidate < 0 or capacities[index] < capacities[candidate]
+            ):
+                candidate = index
+        remaining = on_sum - capacities[candidate]
+        if rate / max(remaining, 1e-9) < controller.upper:
+            alpha[candidate] = False
+            explored += 1
+    weights = [
+        capacities[index] if alpha[index] else 0.0 for index in range(n)
+    ]
+    gamma = _fast_quantize(weights, cached["k"], cached["step"])
+    return alpha, gamma, explored, rate, work, cached
+
+
+def fast_baseline_act(controller, queues, alpha_current) -> BaselineDecision:
+    """Bit-exact fast twin of ``controller.act`` for the stock baselines.
+
+    Dispatches on the exact controller class; any subclass or policy it
+    does not recognise — or a module wide enough (>= 8 computers) that
+    numpy's pairwise summation would diverge from sequential Python
+    accumulation — falls back to the scalar ``act``.
+    """
+    kind = type(controller)
+    if controller.spec.size >= 8:
+        return controller.act(queues, alpha_current)
+    if kind is AlwaysOnMaxController:
+        started = time.perf_counter()
+        cached = _fast_act_state(controller)
+        n = cached["n"]
+        work = controller.work_estimate
+        weights = [s / work for s in cached["speeds"]]
+        gamma = _fast_quantize(weights, cached["k"], cached["step"])
+        decision = BaselineDecision(
+            alpha=np.ones(n, dtype=int),
+            gamma=np.array(gamma),
+            frequency_indices=cached["max_indices_arr"],
+        )
+        controller.stats.record(1, time.perf_counter() - started)
+        return decision
+    if kind is ThresholdOnOffController:
+        started = time.perf_counter()
+        alpha, gamma, explored, _, _, cached = _fast_threshold_on_off(
+            controller, alpha_current
+        )
+        decision = BaselineDecision(
+            alpha=np.array([1 if a else 0 for a in alpha]),
+            gamma=np.array(gamma),
+            frequency_indices=cached["max_indices_arr"],
+        )
+        controller.stats.record(explored, time.perf_counter() - started)
+        return decision
+    if kind is ThresholdDvfsController:
+        started = time.perf_counter()
+        alpha, gamma, explored, rate, work, cached = _fast_threshold_on_off(
+            controller, alpha_current
+        )
+        decision_freqs = list(cached["max_indices"])
+        dvfs_target = controller.dvfs_target
+        for j in range(cached["n"]):
+            if not alpha[j]:
+                continue
+            needed = (gamma[j] * rate) / dvfs_target
+            fe = cached["fe"][j]
+            chosen = len(fe) - 1
+            for index, numerator in enumerate(fe):
+                if numerator / work >= needed:
+                    chosen = index
+                    break
+            decision_freqs[j] = chosen
+        decision = BaselineDecision(
+            alpha=np.array([1 if a else 0 for a in alpha]),
+            gamma=np.array(gamma),
+            frequency_indices=np.array(decision_freqs),
+        )
+        controller.stats.record(explored, time.perf_counter() - started)
+        return decision
+    return controller.act(queues, alpha_current)

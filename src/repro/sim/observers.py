@@ -249,6 +249,35 @@ class StreamStats:
         self.energy += power * self.step_seconds
         self.steps_seen += 1
 
+    def fold_step(
+        self,
+        response_sum: float,
+        response_count: int,
+        response_max: float,
+        violation_count: int,
+        power: float,
+    ) -> None:
+        """Precomputed-row twin of :meth:`observe_step`.
+
+        The vector kernel reduces every module's response row in one
+        batched pass and hands the per-row aggregates here; the folding
+        arithmetic is identical to :meth:`observe_step`, so the
+        accumulated totals are bit-for-bit the same. ``violation_count``
+        must have been computed against this stream's
+        ``target_response`` (the engine routes mismatched recorders to
+        the scalar path).
+        """
+        if response_count:
+            self.response_sum += response_sum
+            self.response_count += response_count
+            self.response_max = max(self.response_max, response_max)
+            if self.target_response is not None:
+                self.violation_count += violation_count
+        self.power_sum += power
+        self.power_max = max(self.power_max, power)
+        self.energy += power * self.step_seconds
+        self.steps_seen += 1
+
     def observe_decision(self, machines_on: float) -> None:
         """Fold one control-period configuration into the aggregates."""
         self.computers_on_sum += machines_on
@@ -337,6 +366,22 @@ class ModuleRecorder(SimulationObserver):
         self._queues.put(k, event.queues)
         self._power.put(k, event.power)
         self.stream.observe_step(event.responses, event.power)
+
+    def on_step_fast(self, event: StepEvent, row_stats: tuple) -> None:
+        """Vector-kernel entry point: same puts, precomputed stream fold.
+
+        ``row_stats`` is ``(sum, count, max, violations)`` for this
+        event's response row, reduced in the kernel's batched pass. The
+        engine only routes events for this recorder's own module here,
+        so the module filter is skipped.
+        """
+        k = event.step
+        self._arrivals.put(k, event.arrivals)
+        self._frequencies.put(k, event.frequencies)
+        self._responses.put(k, event.responses)
+        self._queues.put(k, event.queues)
+        self._power.put(k, event.power)
+        self.stream.fold_step(*row_stats, event.power)
 
     def on_l1_decision(self, event: L1DecisionEvent) -> None:
         if event.module != self.module:

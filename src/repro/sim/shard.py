@@ -199,6 +199,7 @@ class ModuleShardRunner:
         mean_work: float,
         is_baseline: bool,
         failure_events: "tuple[tuple[float, int, str], ...]" = (),
+        kernel: str = "scalar",
     ) -> None:
         self.module_index = module_index
         self.plant = plant
@@ -207,6 +208,12 @@ class ModuleShardRunner:
         self.l0_params = l0_params
         self.mean_work = mean_work
         self.is_baseline = is_baseline
+        #: Control-period kernel; rides the pickled runner to sharded
+        #: workers so both backends execute the same kernel choice. The
+        #: batched L0 bank is built lazily (numpy arrays need not cross
+        #: the pickle).
+        self.kernel = kernel
+        self._l0_kernel = None
         self.alpha = np.ones(plant.size, dtype=bool)
         self.gamma = np.full(plant.size, 1.0 / plant.size)
         self.pending_events = sorted(failure_events, key=lambda e: e[0])
@@ -270,9 +277,16 @@ class ModuleShardRunner:
         held = boundary.hold
         if self.is_baseline:
             if not held:
-                decision = self.controller.act(
-                    self.plant.queue_lengths, self.alpha
-                )
+                if self.kernel == "vector":
+                    from repro.sim.kernels import fast_baseline_act
+
+                    decision = fast_baseline_act(
+                        self.controller, self.plant.queue_lengths, self.alpha
+                    )
+                else:
+                    decision = self.controller.act(
+                        self.plant.queue_lengths, self.alpha
+                    )
                 if (
                     boundary.deadline_at is not None
                     and time.monotonic() > boundary.deadline_at
@@ -288,7 +302,12 @@ class ModuleShardRunner:
                     computer.set_frequency_index(int(freq))
             else:
                 self.plant.apply_configuration(self.alpha)
-            prediction = float(self.controller.predictor.forecast(1)[0])
+            if self.kernel == "vector":
+                from repro.sim.kernels import fast_forecast1
+
+                prediction = fast_forecast1(self.controller.predictor)
+            else:
+                prediction = float(self.controller.predictor.forecast(1)[0])
         else:
             if not held:
                 decision = self.controller.decide(
@@ -334,6 +353,29 @@ class ModuleShardRunner:
         m = self.plant.size
         freq_row = np.zeros(m)
         if self.is_baseline:
+            freq_row[:] = [c.frequency_ghz for c in self.plant.computers]
+        elif self.kernel == "vector":
+            if self._l0_kernel is None:
+                from repro.sim.kernels import L0BankKernel
+
+                self._l0_kernel = L0BankKernel(self.l0_bank)
+            serving = [
+                j for j, c in enumerate(self.plant.computers) if c.is_serving
+            ]
+            if serving:
+                decisions = self._l0_kernel.decide_many(
+                    serving,
+                    [self.plant.computers[j].queue_length for j in serving],
+                    [
+                        inp.gamma_module * self.gamma[j] * inp.forecast
+                        for j in serving
+                    ],
+                    [self.l0_bank[j].work_estimate for j in serving],
+                )
+                for j, decided in zip(serving, decisions):
+                    self.plant.computers[j].set_frequency_index(
+                        decided.frequency_index
+                    )
             freq_row[:] = [c.frequency_ghz for c in self.plant.computers]
         else:
             for j, (computer, l0) in enumerate(

@@ -22,6 +22,25 @@ def behavior_maps():
     return L1Controller(paper_module_spec()).maps
 
 
+class TestRetiredShims:
+    """The pre-1.1 wrappers are gone; calls must point at run_scenario."""
+
+    def test_module_experiment_raises_with_pointer(self):
+        with pytest.raises(ConfigurationError, match="run_scenario"):
+            module_experiment(m=4, l1_samples=36)
+
+    def test_cluster_experiment_raises_with_pointer(self):
+        with pytest.raises(ConfigurationError, match="run_scenario"):
+            cluster_experiment(p=4, samples=36)
+
+    def test_retired_names_not_exported(self):
+        import repro
+        import repro.sim
+
+        assert "module_experiment" not in repro.__all__
+        assert "cluster_experiment" not in repro.sim.__all__
+
+
 def _identical(a, b):
     assert np.array_equal(a.arrivals, b.arrivals)
     assert np.array_equal(a.frequencies, b.frequencies)
@@ -37,55 +56,55 @@ def _identical(a, b):
     assert (a.switch_ons, a.switch_offs) == (b.switch_ons, b.switch_offs)
 
 
-class TestShimEquivalence:
-    def test_module_shim_matches_named_scenario(self, behavior_maps):
-        """module_experiment(m=4) == run_scenario('paper/fig4-module4')."""
-        with pytest.deprecated_call():
-            old = module_experiment(
-                m=4, l1_samples=36, seed=11, behavior_maps=behavior_maps
-            )
-        new = run_scenario(
+class TestEntryPointEquivalence:
+    """The migration targets of the retired wrappers are bit-for-bit
+    equivalent: a named registry scenario, the explicit builder chain,
+    and keyword overrides all drive the same engine path."""
+
+    def test_named_scenario_matches_builder(self, behavior_maps):
+        named = run_scenario(
             get_scenario("paper/fig4-module4", samples=36, seed=11),
             behavior_maps=behavior_maps,
         )
-        _identical(old, new)
-
-    def test_module_shim_matches_builder_without_shared_maps(self):
-        """Bit-for-bit including independent map training."""
-        with pytest.deprecated_call():
-            old = module_experiment(m=4, l1_samples=24, seed=3)
-        new = run_scenario(
-            Scenario.module(m=4).workload("synthetic", samples=24).seed(3).build()
+        built = run_scenario(
+            Scenario.module(m=4)
+            .workload("synthetic", samples=36)
+            .seed(11)
+            .build(),
+            behavior_maps=behavior_maps,
         )
-        _identical(old, new)
+        _identical(named, built)
 
-    def test_baseline_shim_matches_scenario(self):
-        with pytest.deprecated_call():
-            old = module_experiment(
-                m=4, l1_samples=36, seed=0,
-                baseline=ThresholdDvfsController(paper_module_spec()),
-            )
-        new = run_scenario(
+    def test_baseline_override_matches_declared_baseline(self):
+        override = run_scenario(
+            Scenario.module(m=4).workload("synthetic", samples=36).build(),
+            baseline=ThresholdDvfsController(paper_module_spec()),
+        )
+        declared = run_scenario(
             Scenario.module(m=4)
             .workload("synthetic", samples=36)
             .baseline("threshold-dvfs")
             .build()
         )
-        _identical(old, new)
+        _identical(override, declared)
 
-    def test_cluster_shim_matches_baseline_scenario(self):
-        """Cluster baselines: new in both the shim and the scenario API."""
-        with pytest.deprecated_call():
-            old = cluster_experiment(
-                p=4, samples=36, seed=2, baseline="threshold-dvfs"
-            )
-        new = run_scenario(
+    def test_cluster_builder_matches_named_scenario(self):
+        built = run_scenario(
+            Scenario.cluster(p=4)
+            .workload("wc98", samples=36)
+            .baseline("threshold-dvfs")
+            .seed(2)
+            .build()
+        )
+        named = run_scenario(
             get_scenario("cluster-baseline-showdown", samples=36, seed=2)
         )
-        assert np.array_equal(old.global_arrivals, new.global_arrivals)
-        assert np.array_equal(old.gamma_history, new.gamma_history)
-        assert np.array_equal(old.total_computers_on, new.total_computers_on)
-        for a, b in zip(old.module_results, new.module_results):
+        assert np.array_equal(built.global_arrivals, named.global_arrivals)
+        assert np.array_equal(built.gamma_history, named.gamma_history)
+        assert np.array_equal(
+            built.total_computers_on, named.total_computers_on
+        )
+        for a, b in zip(built.module_results, named.module_results):
             _identical(a, b)
 
 

@@ -1,0 +1,397 @@
+"""Scalar vs vector kernel parity: the scalar path is the oracle.
+
+``control.kernel = "vector"`` must be a pure speed knob. These tests
+enforce that for every registry scenario — serial and sharded, full and
+windowed recorders — the vector kernel's deterministic summary is
+**bit-identical** (``==``, not approx) to the scalar kernel's, and that
+each batched primitive (the L0 bank, the Kalman bank, the baseline act
+twins, the probability-vector fast path, the batched map queries)
+reproduces its scalar counterpart exactly.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.approximation import GridQuantizer, LookupTableMap
+from repro.cluster.processor import processor_profile
+from repro.cluster.specs import ComputerSpec, paper_module_spec
+from repro.common import ConfigurationError
+from repro.common.validation import require_probability_vector
+from repro.controllers import (
+    AlwaysOnMaxController,
+    L0Controller,
+    ThresholdDvfsController,
+    ThresholdOnOffController,
+)
+from repro.controllers.l1 import ComputerBehaviorMap
+from repro.forecast import WorkloadPredictor
+from repro.scenario import get_scenario, run_scenario, scenario_names
+from repro.sim.kernels import (
+    L0BankKernel,
+    _fast_probability_vector,
+    batched_predictor_observe,
+    fast_baseline_act,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+#: Long enough to cross boot transients, warm-up, and several control
+#: periods; short enough that 14 scenarios x several variants stay fast.
+SAMPLES = 12
+
+#: Scenarios whose declared events (here: a fault at t=3600s and its
+#: repair at t=7200s) need a longer horizon to stay inside the trace.
+MIN_SAMPLES = {"module-failover": 64}
+
+
+def _spec(name):
+    return get_scenario(name, samples=MIN_SAMPLES.get(name, SAMPLES))
+
+
+def _vector(spec):
+    return spec.with_overrides(**{"control.kernel": "vector"})
+
+
+def _summary_json(spec):
+    return json.dumps(
+        run_scenario(spec).summary().deterministic_dict(), sort_keys=True
+    )
+
+
+def _assert_runs_identical(scalar, vector):
+    """Every deterministic field of two run results, bit for bit."""
+    assert (
+        scalar.summary().deterministic_dict()
+        == vector.summary().deterministic_dict()
+    )
+    for name in (
+        "global_arrivals",
+        "global_predictions",
+        "gamma_history",
+        "total_computers_on",
+        "per_module_on",
+    ):
+        assert np.array_equal(
+            getattr(scalar, name), getattr(vector, name)
+        ), name
+    for module_scalar, module_vector in zip(
+        scalar.module_results, vector.module_results
+    ):
+        for name in (
+            "arrivals",
+            "frequencies",
+            "queues",
+            "power",
+            "computers_on",
+        ):
+            assert np.array_equal(
+                getattr(module_scalar, name), getattr(module_vector, name)
+            ), name
+        assert np.array_equal(
+            module_scalar.responses, module_vector.responses, equal_nan=True
+        )
+        assert module_scalar.energy_base == module_vector.energy_base
+        assert module_scalar.energy_dynamic == module_vector.energy_dynamic
+        assert module_scalar.energy_transient == module_vector.energy_transient
+        assert module_scalar.switch_ons == module_vector.switch_ons
+        assert module_scalar.switch_offs == module_vector.switch_offs
+
+
+class TestRegistryScenarioParity:
+    """Every registered scenario, scalar vs vector, exact ``==``."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_serial_summary_bit_identical(self, name):
+        spec = _spec(name)
+        assert _summary_json(_vector(spec)) == _summary_json(spec)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            name
+            for name in scenario_names()
+            if get_scenario(name).plant.kind == "cluster"
+        ],
+    )
+    def test_sharded_summary_bit_identical(self, name):
+        spec = _spec(name).with_overrides(
+            **{"control.execution": "sharded", "control.shard_workers": 2}
+        )
+        assert _summary_json(_vector(spec)) == _summary_json(spec)
+
+    @pytest.mark.parametrize(
+        "name", ["paper/fig6-cluster16", "cluster-baseline-showdown"]
+    )
+    def test_windowed_summary_bit_identical(self, name):
+        spec = _spec(name).with_overrides(
+            **{"control.window": 5}
+        )
+        assert _summary_json(_vector(spec)) == _summary_json(spec)
+
+    def test_full_result_arrays_bit_identical_hierarchy(self):
+        spec = _spec("paper/fig6-cluster16")
+        _assert_runs_identical(
+            run_scenario(spec), run_scenario(_vector(spec))
+        )
+
+    def test_full_result_arrays_bit_identical_baseline(self):
+        spec = _spec("cluster-baseline-showdown")
+        _assert_runs_identical(
+            run_scenario(spec), run_scenario(_vector(spec))
+        )
+
+
+class TestL0BankParity:
+    """The batched L0 lookahead against per-controller ``decide``."""
+
+    def _controllers(self):
+        return [L0Controller(c) for c in paper_module_spec().computers]
+
+    def test_decide_many_matches_scalar_decide(self):
+        scalar = self._controllers()
+        bank = L0BankKernel(self._controllers())
+        queues = [0.0, 3.5, 12.0, 40.0]
+        rates = [
+            np.array([80.0, 90.0, 100.0]),
+            np.array([0.0, 10.0, 5.0]),
+            np.array([400.0, 350.0, 300.0]),
+            np.array([55.5, 55.5, 55.5]),
+        ]
+        works = [0.0175, 0.02, 0.0175, 0.01]
+        batched = bank.decide_many([0, 1, 2, 3], queues, rates, works)
+        for j, decision in enumerate(batched):
+            expected = scalar[j].decide(queues[j], rates[j], works[j])
+            assert decision.frequency_index == expected.frequency_index
+            assert decision.expected_cost == expected.expected_cost
+            assert decision.states_explored == expected.states_explored
+
+    def test_decide_many_subset_and_order(self):
+        scalar = self._controllers()
+        bank = L0BankKernel(self._controllers())
+        batched = bank.decide_many(
+            [2, 0],
+            [7.0, 1.0],
+            [np.array([120.0, 110.0, 100.0]), np.array([60.0, 70.0, 80.0])],
+            [0.0175, 0.0175],
+        )
+        for (j, queue, rates, work), decision in zip(
+            [
+                (2, 7.0, np.array([120.0, 110.0, 100.0]), 0.0175),
+                (0, 1.0, np.array([60.0, 70.0, 80.0]), 0.0175),
+            ],
+            batched,
+        ):
+            expected = scalar[j].decide(queue, rates, work)
+            assert decision.frequency_index == expected.frequency_index
+            assert decision.expected_cost == expected.expected_cost
+
+    def test_stats_recorded_like_scalar(self):
+        controllers = self._controllers()
+        bank = L0BankKernel(controllers)
+        bank.decide_many(
+            [0, 1],
+            [2.0, 2.0],
+            [np.array([100.0] * 3)] * 2,
+            [0.0175, 0.0175],
+        )
+        scalar = self._controllers()
+        scalar[0].decide(2.0, np.array([100.0] * 3), 0.0175)
+        assert (
+            controllers[0].stats.states_explored
+            == scalar[0].stats.states_explored
+        )
+
+
+class TestKalmanBankParity:
+    """Batched predictor observe against the scalar filter, bit for bit."""
+
+    def _banks(self, count=4, prime=6):
+        rng = np.random.default_rng(7)
+        trace = rng.uniform(50.0, 5000.0, size=(count, prime + 24))
+        scalar = [WorkloadPredictor() for _ in range(count)]
+        batched = [WorkloadPredictor() for _ in range(count)]
+        for t in range(prime):
+            for a, b, value in zip(scalar, batched, trace[:, t]):
+                a.observe(float(value))
+                b.observe(float(value))
+        return scalar, batched, trace, prime
+
+    def _assert_filters_identical(self, scalar, batched):
+        for a, b in zip(scalar, batched):
+            assert np.array_equal(a._filter.state, b._filter.state)
+            assert np.array_equal(a._filter.cov, b._filter.cov)
+            assert np.array_equal(a.forecast(3), b.forecast(3))
+            assert a.band.delta == b.band.delta
+            assert a.observations == b.observations
+            assert len(a._filter.history) == len(b._filter.history)
+
+    def test_primed_banks_bit_identical(self):
+        scalar, batched, trace, prime = self._banks()
+        for t in range(prime, trace.shape[1]):
+            for a, value in zip(scalar, trace[:, t]):
+                a.observe(float(value))
+            batched_predictor_observe(batched, list(trace[:, t]))
+        self._assert_filters_identical(scalar, batched)
+
+    def test_unprimed_bank_falls_back_to_scalar(self):
+        scalar = [WorkloadPredictor() for _ in range(3)]
+        batched = [WorkloadPredictor() for _ in range(3)]
+        values = [100.0, 250.0, 975.5]
+        for a, value in zip(scalar, values):
+            a.observe(value)
+        batched_predictor_observe(batched, values)
+        self._assert_filters_identical(scalar, batched)
+
+
+class TestBaselineActParity:
+    """``fast_baseline_act`` against ``act`` for every stock policy."""
+
+    OBSERVATIONS = [9000.0, 11000.0, 14000.0, 12500.0, 8000.0, 15000.0]
+
+    def _pair(self, factory):
+        scalar, fast = factory(paper_module_spec()), factory(paper_module_spec())
+        for rate in self.OBSERVATIONS:
+            scalar.observe(rate, 0.0175)
+            fast.observe(rate, 0.0175)
+        return scalar, fast
+
+    @pytest.mark.parametrize(
+        "factory",
+        [AlwaysOnMaxController, ThresholdOnOffController, ThresholdDvfsController],
+        ids=["always-on-max", "threshold-on-off", "threshold-dvfs"],
+    )
+    @pytest.mark.parametrize(
+        "alpha",
+        [
+            np.ones(4, dtype=bool),
+            np.array([True, False, True, False]),
+            np.zeros(4, dtype=bool),
+        ],
+        ids=["all-on", "half-on", "all-off"],
+    )
+    def test_decision_bit_identical(self, factory, alpha):
+        scalar, fast = self._pair(factory)
+        queues = np.array([5.0, 0.0, 22.0, 3.0])
+        expected = scalar.act(queues, alpha.copy())
+        decision = fast_baseline_act(fast, queues, alpha.copy())
+        assert np.array_equal(decision.alpha, expected.alpha)
+        assert np.array_equal(decision.gamma, expected.gamma)
+        assert np.array_equal(
+            decision.frequency_indices, expected.frequency_indices
+        )
+
+    def test_unknown_subclass_falls_back_to_scalar_act(self):
+        class Custom(ThresholdOnOffController):
+            pass
+
+        scalar, _ = self._pair(Custom)
+        _, fast = self._pair(Custom)
+        queues = np.zeros(4)
+        alpha = np.ones(4, dtype=bool)
+        expected = scalar.act(queues, alpha)
+        decision = fast_baseline_act(fast, queues, alpha)
+        assert np.array_equal(decision.alpha, expected.alpha)
+        assert np.array_equal(decision.gamma, expected.gamma)
+
+
+class TestProbabilityVectorFastPath:
+    """The scalar-Python accept path of ``require_probability_vector``."""
+
+    @pytest.mark.parametrize(
+        "gamma",
+        [
+            [1.0],
+            [0.25, 0.75],
+            [0.3, 0.3, 0.4],
+            [0.0, 0.0, 1.0, 0.0],
+            [-5e-7, 0.5, 0.5000005],  # clamps the tiny negative, like numpy
+            [1.0 / 7.0] * 7,
+        ],
+    )
+    def test_accepted_vectors_match_validator(self, gamma):
+        for candidate in (list(gamma), np.array(gamma, dtype=float)):
+            fast = _fast_probability_vector(candidate, len(gamma))
+            assert fast is not None
+            expected = require_probability_vector(gamma, "gamma")
+            assert fast == list(expected)
+
+    @pytest.mark.parametrize(
+        "gamma",
+        [
+            [0.5, 0.6],  # sum off
+            [-0.1, 1.1],  # negative beyond tolerance
+        ],
+    )
+    def test_invalid_vectors_defer_to_validator(self, gamma):
+        assert _fast_probability_vector(gamma, len(gamma)) is None
+        with pytest.raises(ConfigurationError):
+            require_probability_vector(gamma, "gamma")
+
+    def test_wide_vectors_defer(self):
+        # numpy's pairwise summation kicks in at 8 elements; the fast
+        # path must refuse rather than risk a different accept decision.
+        gamma = [0.125] * 8
+        assert _fast_probability_vector(gamma, 8) is None
+        assert _fast_probability_vector(np.array(gamma), 8) is None
+
+    def test_shape_and_dtype_mismatches_defer(self):
+        assert _fast_probability_vector([0.5, 0.5], 3) is None
+        assert (
+            _fast_probability_vector(
+                np.array([0.5, 0.5], dtype=np.float32), 2
+            )
+            is None
+        )
+        assert (
+            _fast_probability_vector(np.array([[0.5, 0.5]]), 2) is None
+        )
+
+
+class TestBatchedMapQueries:
+    """``exact_at_many`` / ``cost_and_next_queue_many`` vs the scalars."""
+
+    @pytest.fixture(scope="class")
+    def behavior_map(self):
+        return ComputerBehaviorMap.train(
+            ComputerSpec(name="C4", processor=processor_profile("c4"))
+        )
+
+    def test_exact_at_many_matches_exact_at(self):
+        quantizer = GridQuantizer([[0.0, 1.0, 2.0], [0.0, 10.0]])
+        table = LookupTableMap(quantizer, output_dim=2)
+        table.store([0.0, 0.0], [1.0, 2.0])
+        table.store([2.0, 10.0], [3.0, 4.0])
+        keys = [(0, 0), (1, 0), (2, 1), (0, 1)]
+        values, populated = table.exact_at_many(keys)
+        for row, key in enumerate(keys):
+            hit = table.exact_at(key)
+            if hit is None:
+                assert not populated[row]
+                assert np.array_equal(values[row], np.zeros(2))
+            else:
+                assert populated[row]
+                assert np.array_equal(values[row], hit)
+
+    def test_exact_at_many_rejects_bad_shape(self):
+        quantizer = GridQuantizer([[0.0, 1.0], [0.0, 1.0]])
+        table = LookupTableMap(quantizer, output_dim=1)
+        table.store([0.0, 0.0], [1.0])
+        with pytest.raises(ConfigurationError):
+            table.exact_at_many(np.zeros((2, 3), dtype=np.intp))
+
+    def test_cost_and_next_queue_many_matches_scalar(self, behavior_map):
+        work = 0.0175
+        queues = np.array([0.0, 4.9, 5.0, 30.0, -3.0, 12.0])
+        # In-domain, off-grid, and saturated (beyond the trained rates).
+        rates = np.array([10.0, 10.3, 700.0, 55.0, 10.0, 10_000.0])
+        costs, finals = behavior_map.cost_and_next_queue_many(
+            queues, rates, work
+        )
+        for j in range(queues.size):
+            cost, final = behavior_map.cost_and_next_queue(
+                float(queues[j]), float(rates[j]), work
+            )
+            assert costs[j] == cost
+            assert finals[j] == final

@@ -9,8 +9,9 @@ from repro.controllers import (
     L1Controller,
     ThresholdDvfsController,
 )
+from repro.scenario import Scenario, run_scenario
 from repro.sim import ModuleSimulation, SimulationOptions
-from repro.sim.experiments import module_experiment, module_workload
+from repro.sim.experiments import module_workload
 from repro.workload import ArrivalTrace
 
 
@@ -21,10 +22,13 @@ def behavior_maps():
 
 
 def _short_run(behavior_maps, l1_samples=60, seed=0, **kwargs):
-    return module_experiment(
-        m=4, l1_samples=l1_samples, seed=seed,
-        behavior_maps=behavior_maps, **kwargs,
+    scenario = (
+        Scenario.module(m=4)
+        .workload("synthetic", samples=l1_samples)
+        .seed(seed)
+        .build()
     )
+    return run_scenario(scenario, behavior_maps=behavior_maps, **kwargs)
 
 
 class TestHierarchyRun:
