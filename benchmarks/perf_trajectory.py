@@ -59,8 +59,14 @@ def series_path(
     scenario: str,
     directory: "Path | None" = None,
     kernel: str = "scalar",
+    execution: str = "serial",
 ) -> Path:
     slug = scenario.replace("/", "-")
+    if execution != "serial":
+        # Pooled backends pay spawn and wire costs serial runs never
+        # see, so each execution mode gets its own series — same reason
+        # as kernels below.
+        slug = f"{slug}--{execution}"
     if kernel != "scalar":
         # Kernels have different cost structures; comparing a vector
         # measurement against the scalar history (or vice versa) would
@@ -88,14 +94,24 @@ def append_entry(path: Path, entry: dict) -> "list[dict]":
 # ----------------------------------------------------------------------
 
 
-def _child(scenario: str, samples: int, kernel: str = "scalar") -> int:
+def _child(
+    scenario: str,
+    samples: int,
+    kernel: str = "scalar",
+    execution: str = "serial",
+) -> int:
     """Run one measurement in this (fresh) interpreter; print JSON."""
     t0 = time.perf_counter()
     from repro.scenario import build_simulation, get_scenario
 
     spec = get_scenario(scenario, samples=samples)
+    overrides: dict = {}
     if kernel != "scalar":
-        spec = spec.with_overrides(**{"control.kernel": kernel})
+        overrides["control.kernel"] = kernel
+    if execution != "serial":
+        overrides["control.execution"] = execution
+    if overrides:
+        spec = spec.with_overrides(**overrides)
     simulation = build_simulation(spec)
     startup_seconds = time.perf_counter() - t0
 
@@ -119,7 +135,11 @@ def _child(scenario: str, samples: int, kernel: str = "scalar") -> int:
 
 
 def measure(
-    scenario: str, samples: int, repeats: int = 2, kernel: str = "scalar"
+    scenario: str,
+    samples: int,
+    repeats: int = 2,
+    kernel: str = "scalar",
+    execution: str = "serial",
 ) -> dict:
     """Best-of-``repeats`` measurement, each in a fresh subprocess.
 
@@ -140,6 +160,8 @@ def measure(
                 str(samples),
                 "--kernel",
                 kernel,
+                "--execution",
+                execution,
             ],
             capture_output=True,
             text=True,
@@ -152,6 +174,7 @@ def measure(
         "samples": samples,
         "repeats": repeats,
         "kernel": kernel,
+        "execution": execution,
         "recorded_at": datetime.datetime.now(datetime.timezone.utc)
         .isoformat(timespec="seconds"),
         **best,
@@ -229,6 +252,11 @@ def main(argv: "list[str] | None" = None) -> int:
         sub.add_argument(
             "--kernel", choices=("scalar", "vector"), default="scalar"
         )
+        sub.add_argument(
+            "--execution",
+            choices=("serial", "sharded", "threads"),
+            default="serial",
+        )
         return sub
 
     add("child", "internal: one measurement in this interpreter")
@@ -252,17 +280,28 @@ def main(argv: "list[str] | None" = None) -> int:
         samples = TRACKED.get(args.scenario, 200)
 
     if args.command == "child":
-        return _child(args.scenario, samples, kernel=args.kernel)
+        return _child(
+            args.scenario, samples, kernel=args.kernel, execution=args.execution
+        )
 
     entry = measure(
-        args.scenario, samples, repeats=args.repeats, kernel=args.kernel
+        args.scenario,
+        samples,
+        repeats=args.repeats,
+        kernel=args.kernel,
+        execution=args.execution,
     )
     print(json.dumps(entry, indent=2, sort_keys=True))
 
     if args.command == "measure":
         return 0
 
-    path = series_path(args.scenario, args.trajectory_dir, kernel=args.kernel)
+    path = series_path(
+        args.scenario,
+        args.trajectory_dir,
+        kernel=args.kernel,
+        execution=args.execution,
+    )
     if args.command == "record":
         series = append_entry(path, entry)
         print(f"recorded entry {len(series)} -> {path}")

@@ -134,6 +134,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
             overrides["control.execution"] = "sharded"
     if args.execution is not None:
         overrides["control.execution"] = args.execution
+    if args.pipeline is not None:
+        overrides["control.pipeline"] = args.pipeline
     if args.kernel is not None:
         overrides["control.kernel"] = args.kernel
     if args.window is not None:
@@ -160,7 +162,22 @@ def _cmd_run(args: argparse.Namespace) -> None:
             sinks=(JsonlSink(args.trace_out),) if args.trace_out else ()
         )
         telemetry = Telemetry(registry=global_registry(), tracer=tracer)
+    if args.stats:
+        from repro.maps import reset_map_stats
+
+        reset_map_stats()
     result = run_scenario(scenario, observers=observers, telemetry=telemetry)
+    if args.stats:
+        # To stderr: stdout must stay byte-comparable across backends
+        # for the --json cmp gates.
+        import json as json_module
+
+        from repro.maps import map_stats
+
+        print(
+            json_module.dumps(map_stats().to_dict(), sort_keys=True),
+            file=sys.stderr,
+        )
     if telemetry is not None:
         telemetry.close()
         if args.metrics_out:
@@ -218,6 +235,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         map_cache=args.map_cache,
         http_host=args.http_host,
         http_port=args.http_port,
+        execution=args.execution,
+        shard_workers=args.shard_workers,
     )
     return run_service(config)
 
@@ -591,14 +610,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=None)
     run.add_argument(
-        "--execution", choices=("serial", "sharded"), default=None,
-        help="cluster execution backend (sharded = one worker per module; "
-        "bit-identical results)",
+        "--execution", choices=("serial", "sharded", "threads"), default=None,
+        help="cluster execution backend (sharded = persistent worker "
+        "processes; threads = in-process pool; bit-identical results)",
     )
     run.add_argument(
         "--shard-workers", type=int, default=None, metavar="N",
-        help="cap the sharded worker-process count (implies --execution "
-        "sharded; default one worker per module)",
+        help="cap the pooled worker count (implies --execution sharded; "
+        "default one worker per module, capped at the core count)",
+    )
+    run.add_argument(
+        "--pipeline", choices=("off", "boundary"), default=None,
+        help="period-boundary schedule for pooled backends (boundary = "
+        "keep one period in flight; off = hard barrier; bit-identical)",
+    )
+    run.add_argument(
+        "--stats", action="store_true",
+        help="emit the map training/shipping counters as JSON to stderr "
+        "after the run (stdout stays byte-comparable)",
     )
     run.add_argument(
         "--kernel", choices=("scalar", "vector"), default=None,
@@ -660,6 +689,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--plant", choices=("simulated", "replay"), default="simulated",
         help="simulated: the scenario's own workload drives the run; "
         "replay: an external observation feed does",
+    )
+    serve.add_argument(
+        "--execution", choices=("serial", "sharded", "threads"),
+        default=None,
+        help="cluster execution backend for the service's engine "
+        "(pooled backends run with the barrier schedule; bit-identical)",
+    )
+    serve.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="cap the pooled worker count (default one worker per "
+        "module, capped at the core count)",
     )
     serve.add_argument(
         "--host", default="127.0.0.1",

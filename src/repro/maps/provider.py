@@ -75,6 +75,43 @@ class MapProvider:
         if (kind, digest) not in self._served:
             self._served.append((kind, digest))
 
+    def shipment(self) -> "tuple[dict[int, str], dict]":
+        """What shard workers need to rebuild served maps by digest.
+
+        Returns ``(digest_by_id, payloads)``: live behaviour-map
+        identity (``id(instance)``) to content digest, and a per-digest
+        payload source for anything the on-disk cache cannot serve to
+        another process — ``None`` when the cache file exists (the
+        worker loads it from disk), the inline artifact payload
+        otherwise. The ``"__cache_dir__"`` key names the cache
+        directory workers should read from (``None`` without a cache).
+        Module cost maps never ship: they live in the parent's L2 only.
+        """
+        digest_by_id: "dict[int, str]" = {}
+        payloads: dict = {
+            "__cache_dir__": (
+                str(self.cache.directory) if self.cache is not None else None
+            )
+        }
+        for kind, digest in self._served:
+            if kind != "behavior":
+                continue
+            instance = self._instances.get(digest)
+            if instance is None:
+                continue
+            digest_by_id[id(instance)] = digest
+            if (
+                self.cache is not None
+                and self.cache.path_for(kind, digest).is_file()
+            ):
+                payloads[digest] = None
+            else:
+                memoed = _MEMO.get(digest)
+                payloads[digest] = (
+                    memoed[2] if memoed is not None else instance.to_dict()
+                )
+        return digest_by_id, payloads
+
     # ------------------------------------------------------------------
     # Behaviour maps (L1's abstraction of one L0-controlled computer)
     # ------------------------------------------------------------------

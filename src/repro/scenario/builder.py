@@ -157,15 +157,26 @@ class Scenario:
     def execution(
         self, mode: str, shard_workers: int | None = None
     ) -> "Scenario":
-        """Pick the cluster execution backend: ``"serial"`` or ``"sharded"``.
+        """Pick the cluster backend: ``"serial"``, ``"sharded"``, ``"threads"``.
 
-        ``shard_workers`` caps the sharded worker-process count (default
-        one per module). Results are bit-identical across backends.
+        ``shard_workers`` caps the pooled worker count (default one per
+        module). Results are bit-identical across backends.
         """
         updates: dict = {"execution": mode}
         if shard_workers is not None:
             updates["shard_workers"] = shard_workers
         self._control = replace(self._control, **updates)
+        return self
+
+    def pipeline(self, mode: str) -> "Scenario":
+        """Pick the period-boundary schedule: ``"boundary"`` or ``"off"``.
+
+        ``boundary`` (the default) lets pooled backends keep one control
+        period in flight while the parent replays the previous one;
+        ``off`` restores the hard per-period barrier. Bit-identical
+        either way; serial runs ignore the setting.
+        """
+        self._control = replace(self._control, pipeline=mode)
         return self
 
     def kernel(self, name: str) -> "Scenario":

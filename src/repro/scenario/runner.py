@@ -300,7 +300,9 @@ def build_simulation(
         failure_events=scenario.faults.events,
         work_series=work_series,
         map_cache=control.map_cache or env_cache_dir(),
-        engine_options=EngineOptions(kernel=control.kernel),
+        engine_options=EngineOptions(
+            kernel=control.kernel, pipeline=control.pipeline
+        ),
     )
 
 

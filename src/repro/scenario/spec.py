@@ -29,7 +29,7 @@ from repro.common.validation import (
 )
 from repro.controllers.baselines import BASELINES
 from repro.controllers.params import L0Params, L1Params, L2Params
-from repro.sim.options import KERNELS
+from repro.sim.options import KERNELS, PIPELINE_MODES
 from repro.sim.shard import EXECUTION_MODES
 
 #: Plant families a scenario can instantiate.
@@ -226,10 +226,19 @@ class ControlSpec:
     override individual fields of :class:`L0Params`/:class:`L1Params`/
     :class:`L2Params` and are validated eagerly on construction.
 
-    ``execution`` picks the cluster backend: ``"serial"`` (default) or
+    ``execution`` picks the cluster backend: ``"serial"`` (default),
     ``"sharded"`` — one persistent worker process per module (capped at
-    ``shard_workers`` when set), producing bit-identical results to the
-    serial path. Only cluster plants accept ``"sharded"``.
+    ``shard_workers`` when set) — or ``"threads"``, the same module
+    fan-out on an in-process thread pool (no spawn cost, GIL-bounded).
+    Both pooled backends produce bit-identical results to the serial
+    path; only cluster plants accept them.
+
+    ``pipeline`` picks the period-boundary schedule for the pooled
+    backends (:data:`~repro.sim.options.PIPELINE_MODES`):
+    ``"boundary"`` (default) overlaps the parent's next-period L2
+    solve/forecast and event replay with the workers' compute — a
+    one-period software pipeline, bit-identical to ``"off"``, which
+    keeps the hard per-period barrier. Serial runs ignore it.
 
     ``window`` bounds recorder memory: the run keeps only the last
     ``window`` T_L0 steps (and control periods) of every time series in
@@ -266,6 +275,7 @@ class ControlSpec:
     window: int | None = None
     map_cache: str | None = None
     kernel: str = "scalar"
+    pipeline: str = "boundary"
 
     def __post_init__(self) -> None:
         modes = (HIERARCHY_MODE, *BASELINES)
@@ -278,11 +288,13 @@ class ControlSpec:
         require_non_negative(self.warmup_intervals, "control.warmup_intervals")
         require_positive(self.mean_work, "control.mean_work")
         require_in(self.execution, EXECUTION_MODES, "control.execution")
+        require_in(self.pipeline, PIPELINE_MODES, "control.pipeline")
         if self.shard_workers is not None:
             require_positive_int(self.shard_workers, "control.shard_workers")
-            if self.execution != "sharded":
+            if self.execution == "serial":
                 raise ConfigurationError(
-                    "control.shard_workers requires control.execution = 'sharded'"
+                    "control.shard_workers requires control.execution = "
+                    "'sharded' or 'threads'"
                 )
         if self.window is not None:
             require_positive_int(self.window, "control.window")
@@ -413,10 +425,14 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"seed must be a non-negative int, got {self.seed!r}"
             )
-        if self.control.execution == "sharded" and self.plant.kind != "cluster":
+        if (
+            self.control.execution in ("sharded", "threads")
+            and self.plant.kind != "cluster"
+        ):
             raise ConfigurationError(
-                "control.execution = 'sharded' requires a cluster plant "
-                "(sharding fans modules out, and a module plant has none)"
+                f"control.execution = {self.control.execution!r} requires a "
+                "cluster plant (pooled backends fan modules out, and a "
+                "module plant has none)"
             )
         if self.faults:
             if self.control.is_baseline:

@@ -74,6 +74,7 @@ from repro.sim.shard import (
     ModuleShardRunner,
     ModuleStepInput,
     ShardWorkerPool,
+    ThreadShardPool,
     forced_configuration,
 )
 from repro.workload.trace import ArrivalTrace
@@ -718,9 +719,9 @@ class ClusterSimulation:
             raise ConfigurationError(
                 f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
             )
-        if shard_workers is not None and execution != "sharded":
+        if shard_workers is not None and execution == "serial":
             raise ConfigurationError(
-                "shard_workers only applies to sharded execution"
+                "shard_workers only applies to sharded or threads execution"
             )
         self.execution = execution
         self.shard_workers = shard_workers
@@ -746,6 +747,9 @@ class ClusterSimulation:
         self.module_maps: list[ModuleCostMap] = []
         self.module_overrides: "dict[int, int]" = {}
         self._state: "_ClusterRunState | None" = None
+        #: The provider the maps came through — sharded pools read its
+        #: shipment table to hand maps to workers by content digest.
+        self._map_provider: "MapProvider | None" = None
         if baseline is not None:
             if callable(baseline):
                 factory = baseline
@@ -780,6 +784,7 @@ class ClusterSimulation:
         provider = self.engine_options.map_provider or MapProvider(
             cache=map_cache
         )
+        self._map_provider = provider
         for module_spec in spec.modules:
             self._behavior_maps.append(
                 provider.behavior_maps(
@@ -803,6 +808,22 @@ class ClusterSimulation:
     def kernel(self) -> str:
         """The control-period kernel this run executes on."""
         return self.engine_options.kernel
+
+    @property
+    def pipeline(self) -> str:
+        """The period-boundary schedule for pooled backends.
+
+        ``"boundary"`` keeps one control period in flight: after a
+        period's outputs arrive, the next period is dispatched *before*
+        the received events are replayed into observers, overlapping the
+        parent's recorder folds with the workers' compute. Serial runs
+        ignore it, and a run with a decision deadline attached falls
+        back to the barrier schedule (the deadline budgets one boundary
+        at a time). Note one operational consequence:
+        :meth:`set_module_override` takes effect one period later under
+        pipelining, because the next boundary is already in flight.
+        """
+        return self.engine_options.pipeline
 
     @property
     def decision_deadline(self) -> "float | None":
@@ -996,14 +1017,34 @@ class ClusterSimulation:
             last_queue_lengths=[runner.plant.queue_lengths for runner in runners],
         )
         if self.execution == "sharded":
+            map_digests, map_payloads = (
+                self._map_provider.shipment()
+                if self._map_provider is not None
+                else (None, None)
+            )
             state.pool = ShardWorkerPool(
+                runners,
+                self.shard_workers,
+                collect_metrics=self.metrics is not None,
+                map_digests=map_digests,
+                map_payloads=map_payloads,
+                substeps=self.substeps,
+            )
+            state.shard_worker_count = state.pool.workers
+            # The parent's runner copies must not be touched again: the
+            # authoritative module state now lives in the workers.
+            state.runners = None
+        elif self.execution == "threads":
+            state.pool = ThreadShardPool(
                 runners,
                 self.shard_workers,
                 collect_metrics=self.metrics is not None,
             )
             state.shard_worker_count = state.pool.workers
-            # The parent's runner copies must not be touched again: the
-            # authoritative module state now lives in the workers.
+            # The runner plants advance on executor threads; the parent
+            # must read boundary queue lengths from the period outputs
+            # (``last_queue_lengths``), never the live plants — under
+            # pipelining they are mid-period while the parent plans.
             state.runners = None
         elif self.kernel == "vector" and self.baselines is not None:
             # Serial baseline periods are pure plant work (no L1/L0
@@ -1071,11 +1112,18 @@ class ClusterSimulation:
                     )
                     state.l0_wall_marks[i] = wall_total
                     state.l0_states_marks[i] = states_total
+            period_index = k // self.substeps
+            totals = state.period_totals.pop(period_index, None)
+            if totals is None:
+                # Serial path: the accumulators still hold this period's
+                # totals. Pooled dispatch snapshots them at send time
+                # (the pipelined next boundary zeroes them early).
+                totals = (state.interval_global, state.interval_module.copy())
             state.sink.on_period_end(
                 PeriodEvent(
-                    period=k // self.substeps,
-                    arrivals=state.interval_global,
-                    module_arrivals=state.interval_module.copy(),
+                    period=period_index,
+                    arrivals=totals[0],
+                    module_arrivals=totals[1],
                 )
             )
         state.k = k + 1
@@ -1129,7 +1177,9 @@ class ClusterSimulation:
             events = vector.step_all(*self._parent_step_vector(state, k))
             dispatch = state.vector_step_dispatch
             if dispatch is None:
-                dispatch = self._build_step_dispatch(state, vector)
+                dispatch = self._build_step_dispatch(
+                    state, vector.target_response
+                )
                 state.vector_step_dispatch = dispatch
             recorders, broadcast = dispatch
             row_stats = vector.step_stats
@@ -1151,9 +1201,9 @@ class ClusterSimulation:
         return events
 
     def _build_step_dispatch(
-        self, state: "_ClusterRunState", vector
+        self, state: "_ClusterRunState", target_response
     ) -> "tuple[dict[int, list], dict[int, list]]":
-        """Per-module step-event routing for the vector fast path.
+        """Per-module step-event routing for the precomputed-fold paths.
 
         Behaviour-equivalent to ``sink.on_step`` fan-out: observers whose
         ``on_step`` is the base-class no-op are dropped, a
@@ -1163,22 +1213,20 @@ class ClusterSimulation:
         preserved within each module's list.
 
         Returns ``(recorders, broadcast)``: stock recorders whose SLA
-        target matches the executor's (so the kernel's batched row
-        aggregates fold bit-identically via ``on_step_fast``), and
-        everything else (fed through plain ``on_step``).
+        target matches ``target_response`` — the target the batched row
+        aggregates were reduced against (the vector kernel's, or the
+        shard workers') — so they fold bit-identically via
+        ``on_step_fast``; everything else is fed plain ``on_step``.
         """
-        recorders: "dict[int, list]" = {
-            runner.module_index: [] for runner in state.runners
-        }
-        broadcast: "dict[int, list]" = {
-            runner.module_index: [] for runner in state.runners
-        }
+        modules = range(self.spec.module_count)
+        recorders: "dict[int, list]" = {module: [] for module in modules}
+        broadcast: "dict[int, list]" = {module: [] for module in modules}
         for observer in state.sink.observers:
             if type(observer).on_step is SimulationObserver.on_step:
                 continue
             if (
                 type(observer) is ModuleRecorder
-                and observer.stream.target_response == vector.target_response
+                and observer.stream.target_response == target_response
             ):
                 if observer.module in recorders:
                     recorders[observer.module].append(observer)
@@ -1224,24 +1272,37 @@ class ClusterSimulation:
 
     def _step_sharded(self, state: "_ClusterRunState") -> "list[StepEvent]":
         if not state.step_buffer:
-            self._dispatch_period(state)
-        events = state.step_buffer.pop(0)
-        for event in events:
-            state.sink.on_step(event)
+            self._refill_period(state)
+        events, row_stats = state.step_buffer.pop(0)
+        dispatch = state.vector_step_dispatch
+        if dispatch is None:
+            dispatch = self._build_step_dispatch(
+                state, self.l0_params.target_response
+            )
+            state.vector_step_dispatch = dispatch
+        recorders, broadcast = dispatch
+        for event, stats in zip(events, row_stats):
+            if stats is not None:
+                for recorder in recorders.get(event.module, ()):
+                    recorder.on_step_fast(event, stats)
+            else:
+                for recorder in recorders.get(event.module, ()):
+                    recorder.on_step(event)
+            for observer in broadcast.get(event.module, ()):
+                observer.on_step(event)
         return events
 
-    def _dispatch_period(self, state: "_ClusterRunState") -> None:
-        """Ship one whole control period to the workers, buffer the events.
+    def _send_period(self, state: "_ClusterRunState"):
+        """Plan and dispatch the next control period (without waiting).
 
-        Only ever runs at a period boundary (the step buffer drains
-        exactly there). The parent advances its cross-module state (L2
-        controller, global predictors, interval accumulators) for the
-        full period first — it depends only on the trace and the
-        previous period's module outputs — then replays the workers'
-        events in the serial emission order, so observers cannot tell
-        the backends apart.
+        The parent advances its cross-module state (L2 controller,
+        global predictors, interval accumulators) for the full period —
+        it depends only on the trace and the previous period's module
+        outputs — snapshots the period's arrival totals for the later
+        ``on_period_end`` event, and ships the per-module inputs.
+        Returns ``(k, end, l2_event, pending)`` for :meth:`_refill_period`.
         """
-        k = state.k
+        k = state.next_dispatch_k
         p = self.spec.module_count
         l2_event, boundaries = self._parent_boundary(state, k)
         end = min(k + self.substeps, self.total_steps)
@@ -1253,13 +1314,58 @@ class ClusterSimulation:
             )
             for i in range(p)
         }
-        outputs = state.pool.run_period(period_inputs)
+        state.period_totals[k // self.substeps] = (
+            state.interval_global,
+            state.interval_module.copy(),
+        )
+        state.next_dispatch_k = end
+        pending = state.pool.send_period(period_inputs)
+        return (k, end, l2_event, pending)
+
+    def _refill_period(self, state: "_ClusterRunState") -> None:
+        """Collect one control period from the pool, buffer its events.
+
+        Only ever runs at a period boundary (the step buffer drains
+        exactly there). With ``pipeline="boundary"`` the *next* period
+        is dispatched before this one's events are replayed, so the
+        workers compute period t+1 while the parent folds period t into
+        recorders and observers — a one-period software pipeline. Any
+        period already in flight is always collected first (so a
+        mid-run switch to a decision deadline drains cleanly), and the
+        events are replayed in the serial emission order either way, so
+        observers cannot tell the schedules apart.
+        """
+        if state.inflight is None:
+            state.inflight = self._send_period(state)
+        k, end, l2_event, pending = state.inflight
+        outputs = state.pool.recv_period(pending)
+        state.inflight = None
+        p = self.spec.module_count
         state.last_queue_lengths = [outputs[i].queue_lengths for i in range(p)]
+        pipelined = (
+            self.pipeline == "boundary" and self.decision_deadline is None
+        )
+        if pipelined and end < self.total_steps:
+            state.inflight = self._send_period(state)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.gauge(
+                "repro_shard_pipeline_depth",
+                "Control periods in flight beyond the one being replayed.",
+            ).set(0.0 if state.inflight is None else 1.0)
         state.sink.on_l2_decision(l2_event)
         for i in range(p):
             state.sink.on_l1_decision(outputs[i].l1_event)
         state.step_buffer = [
-            [outputs[i].step_events[s] for i in range(p)]
+            (
+                [outputs[i].step_events[s] for i in range(p)],
+                [
+                    outputs[i].row_stats[s]
+                    if outputs[i].row_stats is not None
+                    else None
+                    for i in range(p)
+                ],
+            )
             for s in range(end - k)
         ]
 
@@ -1546,20 +1652,32 @@ class ClusterSimulation:
     def live_summary(self) -> RunSummary:
         """Cluster-wide headline metrics over the steps taken so far.
 
-        Serial backend only: sharded module state lives in the worker
-        processes, where mid-run aggregates are not reachable. Uses the
-        same online :class:`StreamStats` aggregates, the same
-        per-module finalization, and the same merge arithmetic as
+        Works on every backend: serial reads the in-process runners;
+        pooled backends take a non-destructive ``finalize`` snapshot of
+        the workers' plant/controller aggregates (the same pure reads
+        the end-of-run result uses). Uses the same online
+        :class:`StreamStats` aggregates, the same per-module
+        finalization, and the same merge arithmetic as
         :meth:`finish`/:meth:`~repro.sim.results.ClusterRunResult.summary`,
-        so at end of run the two agree bit for bit.
+        so at end of run the two agree bit for bit. The only blind spot
+        is a pipelined period in flight — its boundary state is mid
+        hand-off, so the call raises; retry at the next boundary or run
+        with ``pipeline="off"`` (service mode does).
         """
         state = getattr(self, "_state", None)
         if state is None:
             raise ControlError("no active run; call reset() first")
-        if state.runners is None:
+        if state.result is not None:
+            return state.result.summary()
+        if state.inflight is not None:
             raise ControlError(
-                "live_summary requires execution='serial': sharded module "
-                "state lives in the worker processes"
+                "live_summary unavailable: a pipelined control period is "
+                "in flight; retry at the next boundary or run with "
+                "pipeline='off'"
+            )
+        if state.runners is None and state.pool is None:
+            raise ControlError(
+                "live_summary requires an active run with live module state"
             )
         streams = [recorder.stream for recorder in state.module_recorders]
         total_count = sum(s.response_count for s in streams)
@@ -1581,7 +1699,10 @@ class ClusterSimulation:
         )
         if state.vector_executor is not None:
             state.vector_executor.flush()
-        finals = [runner.finalize() for runner in state.runners]
+        if state.runners is not None:
+            finals = [runner.finalize() for runner in state.runners]
+        else:
+            finals = list(state.pool.finalize().values())
         l0 = ControllerStats()
         l1 = ControllerStats()
         for final in finals:
@@ -1672,8 +1793,18 @@ class _ClusterRunState:
     gamma_modules: np.ndarray
     interval_module: np.ndarray
     runners: "list[ModuleShardRunner] | None" = None
-    pool: "ShardWorkerPool | None" = None
+    pool: "ShardWorkerPool | ThreadShardPool | None" = None
     shard_worker_count: "int | None" = None
+    #: The dispatched-but-not-collected period under pipelined pooled
+    #: execution: ``(k, end, l2_event, pending)``.
+    inflight: "tuple | None" = None
+    #: First T_L0 step of the next period to dispatch — runs ahead of
+    #: ``k`` by one period when a dispatch is in flight.
+    next_dispatch_k: int = 0
+    #: Arrival totals snapshotted at dispatch time, keyed by period
+    #: index; consumed by ``on_period_end`` (the pipelined next boundary
+    #: zeroes the live accumulators before the period's last step runs).
+    period_totals: dict = field(default_factory=dict)
     #: Batched substep engine (serial baseline runs on the vector
     #: kernel only; None everywhere else).
     vector_executor: "object | None" = None

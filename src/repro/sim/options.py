@@ -26,6 +26,12 @@ from repro.common.validation import require_in
 #: bit-identical to ``scalar`` on every deterministic summary metric.
 KERNELS = ("scalar", "vector")
 
+#: Period-boundary pipelining modes for pooled execution backends.
+#: ``off`` keeps the hard per-period barrier; ``boundary`` overlaps the
+#: parent's L2 solve / forecast for period t+1 with the workers' period-t
+#: compute (a one-period software pipeline, bit-identical by construction).
+PIPELINE_MODES = ("off", "boundary")
+
 
 @dataclass
 class EngineOptions:
@@ -39,7 +45,11 @@ class EngineOptions:
     boundary decision to so-many wall seconds (``None`` disables).
     ``map_provider`` supplies trained abstraction maps (a
     :class:`~repro.maps.provider.MapProvider`); ``None`` lets the engine
-    construct one from its ``map_cache`` argument.
+    construct one from its ``map_cache`` argument. ``pipeline`` selects
+    the period-boundary schedule for pooled backends (see
+    :data:`PIPELINE_MODES`); serial runs ignore it, and a run with a
+    decision deadline attached falls back to the barrier schedule so the
+    deadline keeps measuring a single boundary's wall time.
     """
 
     kernel: str = "scalar"
@@ -47,9 +57,11 @@ class EngineOptions:
     tracer: object = None
     decision_deadline: "float | None" = None
     map_provider: object = None
+    pipeline: str = "boundary"
 
     def __post_init__(self) -> None:
         require_in(self.kernel, KERNELS, "kernel")
+        require_in(self.pipeline, PIPELINE_MODES, "pipeline")
         self.set_decision_deadline(self.decision_deadline)
 
     def set_decision_deadline(self, seconds: "float | None") -> None:

@@ -264,7 +264,10 @@ class TestWorkerCountEdge:
         sharded = simulation.finish()
         assert_results_identical(serial, sharded)
 
-    def test_resolve_shard_workers(self):
+    def test_resolve_shard_workers(self, monkeypatch):
+        import repro.sim.shard as shard_module
+
+        monkeypatch.setattr(shard_module.os, "cpu_count", lambda: 16)
         assert resolve_shard_workers(None, 4) == 4
         assert resolve_shard_workers(2, 4) == 2
         assert resolve_shard_workers(8, 4) == 4
@@ -272,6 +275,16 @@ class TestWorkerCountEdge:
             resolve_shard_workers(0, 4)
         with pytest.raises(ConfigurationError):
             resolve_shard_workers(True, 4)
+
+    def test_default_worker_count_capped_at_cores(self, monkeypatch):
+        import repro.sim.shard as shard_module
+
+        monkeypatch.setattr(shard_module.os, "cpu_count", lambda: 2)
+        assert resolve_shard_workers(None, 4) == 2
+        # An explicit request overrides the core cap.
+        assert resolve_shard_workers(4, 4) == 4
+        monkeypatch.setattr(shard_module.os, "cpu_count", lambda: None)
+        assert resolve_shard_workers(None, 4) == 4
 
 
 class TestEngineValidation:
